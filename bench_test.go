@@ -1,0 +1,189 @@
+package pp_test
+
+import (
+	"testing"
+
+	pp "repro"
+	"repro/internal/dioph"
+	"repro/internal/experiments"
+	"repro/internal/protocols"
+	"repro/internal/reach"
+	"repro/internal/realise"
+	"repro/internal/sim"
+	"repro/internal/stable"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per experiment table (E1–E10, see DESIGN.md §4). Each runs
+// the table generator in quick mode; `go run ./cmd/ppexperiments` prints the
+// full tables recorded in EXPERIMENTS.md.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := experiments.Config{Quick: true, Seed: 99}
+	for i := 0; i < b.N; i++ {
+		tb, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1FlockOfBirds(b *testing.B)    { benchExperiment(b, experiments.E1Example21) }
+func BenchmarkE2BinaryThreshold(b *testing.B) { benchExperiment(b, experiments.E2BinaryThreshold) }
+func BenchmarkE3StableBasis(b *testing.B)     { benchExperiment(b, experiments.E3StableBases) }
+func BenchmarkE4Saturation(b *testing.B)      { benchExperiment(b, experiments.E4Saturation) }
+func BenchmarkE5Pottier(b *testing.B)         { benchExperiment(b, experiments.E5Pottier) }
+func BenchmarkE6PumpingCertificate(b *testing.B) {
+	benchExperiment(b, experiments.E6PumpingCertificates)
+}
+func BenchmarkE7Bounds(b *testing.B)           { benchExperiment(b, experiments.E7BoundsTable) }
+func BenchmarkE8BusyBeaverSearch(b *testing.B) { benchExperiment(b, experiments.E8BusyBeaverSearch) }
+func BenchmarkE9ControlledSequences(b *testing.B) {
+	benchExperiment(b, experiments.E9ControlledSequences)
+}
+func BenchmarkE10ParallelTime(b *testing.B) { benchExperiment(b, experiments.E10ParallelTime) }
+func BenchmarkE11CoverLengths(b *testing.B) { benchExperiment(b, experiments.E11CoverLengths) }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core engines.
+// ---------------------------------------------------------------------------
+
+// BenchmarkSimInteractions measures raw scheduler throughput
+// (interactions/op) on a 10^4-agent flock.
+func BenchmarkSimInteractions(b *testing.B) {
+	e := protocols.FlockOfBirds(8)
+	p := e.Protocol
+	c0 := p.InitialConfigN(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := sim.Run(p, c0, sim.Options{
+			Seed:     uint64(i),
+			MaxSteps: 100_000,
+			// No oracle checks: measure the interaction loop itself.
+			CheckEvery: 1 << 62,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Interactions == 0 {
+			b.Fatal("no interactions")
+		}
+	}
+	b.ReportMetric(100_000, "interactions/op")
+}
+
+// BenchmarkSimConvergence measures end-to-end convergence of the succinct
+// protocol with the exact stable-set oracle.
+func BenchmarkSimConvergence(b *testing.B) {
+	e := protocols.Succinct(3)
+	p := e.Protocol
+	a, err := stable.Analyze(p, stable.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c0 := p.InitialConfigN(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := sim.Run(p, c0, sim.Options{Seed: uint64(i), Oracle: a})
+		if err != nil || !st.Converged {
+			b.Fatalf("run %d: %v converged=%t", i, err, st.Converged)
+		}
+	}
+}
+
+// BenchmarkExplore measures exact state-space exploration (configurations
+// per op reported).
+func BenchmarkExplore(b *testing.B) {
+	e := protocols.FlockOfBirds(6)
+	p := e.Protocol
+	c0 := p.InitialConfigN(12)
+	var configs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := reach.Explore(p, c0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs = g.Len()
+	}
+	b.ReportMetric(float64(configs), "configs")
+}
+
+// BenchmarkSCC measures the Tarjan decomposition on an explored graph.
+func BenchmarkSCC(b *testing.B) {
+	e := protocols.FlockOfBirds(6)
+	p := e.Protocol
+	g, err := reach.Explore(p, p.InitialConfigN(12), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		info := g.SCCs()
+		if info.NumComps == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+// BenchmarkBackwardCoverability measures stable-set computation.
+func BenchmarkBackwardCoverability(b *testing.B) {
+	e := protocols.BinaryThreshold(11)
+	p := e.Protocol
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stable.Analyze(p, stable.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHilbertBasis measures the Contejean–Devie solver on the
+// realisability system of a mid-sized protocol.
+func BenchmarkHilbertBasis(b *testing.B) {
+	e := protocols.Succinct(4)
+	p := e.Protocol
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis, err := realise.Basis(p, dioph.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(basis) == 0 {
+			b.Fatal("empty basis")
+		}
+	}
+}
+
+// BenchmarkPumpPipeline measures the full Theorem 5.9 certificate pipeline.
+func BenchmarkPumpPipeline(b *testing.B) {
+	e := protocols.FlockOfBirds(4)
+	p := e.Protocol
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cert, err := pp.FindLeaderlessCertificate(p, pp.PumpOptions{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pp.CheckLeaderlessCertificate(p, cert, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyExhaustive measures exhaustive verification of the
+// majority protocol over all inputs of size ≤ 8.
+func BenchmarkVerifyExhaustive(b *testing.B) {
+	e := protocols.Majority()
+	for i := 0; i < b.N; i++ {
+		rep, err := reach.VerifyRange(e.Protocol, e.Pred, 2, 8, 0)
+		if err != nil || !rep.AllOK() {
+			b.Fatalf("%v / %v", err, rep)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command ppbounds prints the paper's explicit constants and busy beaver
+// bounds for a given number of states: the small basis constant β
+// (Definition 3), ϑ (Lemma 3.2), the Pottier constant ξ (Definition 6),
+// the Theorem 5.9 leaderless upper bound, and the Theorem 2.2 lower bounds.
+//
+// Usage:
+//
+//	ppbounds -n 4
+//	ppbounds -n 4 -t 10      # with an explicit transition count for ξ
+//	ppbounds -protocol succinct:3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/protocols"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppbounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppbounds", flag.ContinueOnError)
+	var (
+		n    = fs.Int64("n", 0, "number of states")
+		t    = fs.Int64("t", 0, "number of transitions (default: n(n+1)/2, the deterministic count)")
+		spec = fs.String("protocol", "", "built-in protocol spec: derive n and t from it")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spec != "" {
+		e, err := protocols.FromName(*spec)
+		if err != nil {
+			return err
+		}
+		*n = int64(e.Protocol.NumStates())
+		*t = int64(e.Protocol.NumTransitions())
+		fmt.Printf("protocol %s: |Q| = %d, |T| = %d, leaderless = %t\n\n",
+			e.Protocol.Name(), *n, *t, e.Protocol.Leaderless())
+	}
+	if *n < 1 {
+		return fmt.Errorf("need -n ≥ 1 or -protocol")
+	}
+	if *t == 0 {
+		*t = *n * (*n + 1) / 2
+	}
+
+	fmt.Printf("paper constants for n = %d states, |T| = %d transitions\n", *n, *t)
+	fmt.Printf("  β(n)  = 2^(2(2n+1)!+1)        = %s\n", bounds.Beta(*n))
+	fmt.Printf("  ϑ(n)  = 2^((2n+2)!)           = %s\n", bounds.Theta(*n))
+	fmt.Printf("  ξ     = 2(2|T|+1)^|Q|         = %s\n", bounds.Xi(*t, *n))
+	fmt.Printf("  ξdet  = 2(|Q|+2)^|Q|          = %s   (Remark 1, deterministic protocols)\n",
+		bounds.XiDeterministic(*n))
+	fmt.Println()
+	fmt.Printf("busy beaver bounds\n")
+	fmt.Printf("  BB(n)  ≥ %s    (Theorem 2.2 via P'_(n−2))\n", bounds.BBLowerLeaderless(*n))
+	fmt.Printf("  BB(n)  ≤ ξ·n·β·3ⁿ = %s    (Theorem 5.9, leaderless)\n", bounds.Theorem59(*n, *t))
+	fmt.Printf("  BB(n)  ≤ 2^((2n+2)!) = %s    (Theorem 5.9, simplified)\n", bounds.Theorem59Simplified(*n))
+	fmt.Printf("  BBL(n) ≥ %s    (Theorem 2.2, with leaders)\n", bounds.BBLLowerWithLeaders(*n))
+	fmt.Printf("  BBL(n) < F_{ℓ,ϑ(n)} at level F_ω of the Fast-Growing Hierarchy (Theorem 4.5)\n")
+	return nil
+}

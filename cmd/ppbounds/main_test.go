@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunWithN(t *testing.T) {
+	if err := run([]string{"-n", "4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-n", "3", "-t", "10"}); err != nil {
+		t.Fatalf("run with -t: %v", err)
+	}
+}
+
+func TestRunWithProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "succinct:3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -n should error")
+	}
+	if err := run([]string{"-protocol", "zzz"}); err == nil {
+		t.Error("bad spec should error")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFindAndCheckRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cert := filepath.Join(dir, "cert.json")
+	if err := run([]string{"-protocol", "flock:3", "-o", cert, "-seed", "17"}); err != nil {
+		t.Fatalf("find: %v", err)
+	}
+	if _, err := os.Stat(cert); err != nil {
+		t.Fatalf("certificate not written: %v", err)
+	}
+	if err := run([]string{"-protocol", "flock:3", "-check", cert}); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	// Checking against a different protocol must fail.
+	if err := run([]string{"-protocol", "flock:4", "-check", cert}); err == nil {
+		t.Fatal("certificate for flock:3 must not validate against flock:4")
+	}
+}
+
+func TestChainPipeline(t *testing.T) {
+	dir := t.TempDir()
+	cert := filepath.Join(dir, "chain.json")
+	if err := run([]string{"-protocol", "leaderflock:2", "-pipeline", "chain", "-o", cert}); err != nil {
+		t.Fatalf("chain find: %v", err)
+	}
+	if err := run([]string{"-protocol", "leaderflock:2", "-pipeline", "chain", "-check", cert}); err != nil {
+		t.Fatalf("chain check: %v", err)
+	}
+}
+
+func TestPrintWithoutOutput(t *testing.T) {
+	if err := run([]string{"-protocol", "succinct:2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string][]string{
+		"no protocol":       nil,
+		"bad pipeline":      {"-protocol", "flock:3", "-pipeline", "zzz"},
+		"leaders vs ll":     {"-protocol", "leaderflock:2", "-pipeline", "leaderless"},
+		"missing cert file": {"-protocol", "flock:3", "-check", "/nonexistent.json"},
+		"both sources":      {"-protocol", "flock:3", "-file", "x.json"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

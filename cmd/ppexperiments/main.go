@@ -1,0 +1,83 @@
+// Command ppexperiments regenerates every table recorded in EXPERIMENTS.md
+// (the experiment index E1–E10 of DESIGN.md).
+//
+// Usage:
+//
+//	ppexperiments                    # all tables, text
+//	ppexperiments -markdown          # all tables, markdown (EXPERIMENTS.md body)
+//	ppexperiments -only E6           # one table
+//	ppexperiments -quick             # reduced ranges (CI-friendly)
+//	ppexperiments -full-search       # E8 enumerates the full 3-state space
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppexperiments", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "reduced ranges and sample counts")
+		full     = fs.Bool("full-search", false, "E8: enumerate the complete 3-state space (~373k protocols)")
+		markdown = fs.Bool("markdown", false, "emit markdown instead of aligned text")
+		only     = fs.String("only", "", "run a single experiment, e.g. E6")
+		seed     = fs.Uint64("seed", 1, "seed for randomized components")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick, FullSearch: *full, Seed: *seed}
+
+	runners := map[string]func(experiments.Config) (*experiments.Table, error){
+		"E1": experiments.E1Example21, "E2": experiments.E2BinaryThreshold,
+		"E3": experiments.E3StableBases, "E4": experiments.E4Saturation,
+		"E5": experiments.E5Pottier, "E6": experiments.E6PumpingCertificates,
+		"E7": experiments.E7BoundsTable, "E8": experiments.E8BusyBeaverSearch,
+		"E9": experiments.E9ControlledSequences, "E10": experiments.E10ParallelTime,
+		"E11": experiments.E11CoverLengths,
+	}
+	if *only != "" {
+		run, ok := runners[*only]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (E1..E10)", *only)
+		}
+		start := time.Now()
+		tb, err := run(cfg)
+		if err != nil {
+			return err
+		}
+		emit(tb, *markdown)
+		fmt.Fprintf(os.Stderr, "[%s in %s]\n", *only, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	start := time.Now()
+	tables, err := experiments.All(cfg)
+	if err != nil {
+		return err
+	}
+	for _, tb := range tables {
+		emit(tb, *markdown)
+	}
+	fmt.Fprintf(os.Stderr, "[all experiments in %s]\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func emit(tb *experiments.Table, markdown bool) {
+	if markdown {
+		fmt.Print(tb.Markdown())
+	} else {
+		fmt.Println(tb.String())
+	}
+}

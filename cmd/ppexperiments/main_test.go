@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E7", "-quick"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-only", "E4", "-quick", "-markdown"}); err != nil {
+		t.Fatalf("run markdown: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table run in -short mode")
+	}
+	if err := run([]string{"-quick"}); err != nil {
+		t.Fatalf("run all: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+// Command ppsearch enumerates every deterministic leaderless protocol with
+// a given number of states and measures the empirical busy beaver function
+// BB(n) (Definition 1) and the Section 4.1 quantity f(n).
+//
+// Usage:
+//
+//	ppsearch -states 2 -max-input 9
+//	ppsearch -states 3 -max-input 8           # exhaustive: ~373k protocols
+//	ppsearch -states 3 -cap 50000             # capped sample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/search"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppsearch", flag.ContinueOnError)
+	var (
+		states   = fs.Int("states", 2, "number of states to enumerate")
+		maxInput = fs.Int64("max-input", 9, "verify thresholds for inputs up to this bound")
+		cap      = fs.Int("cap", 0, "stop after this many candidates (0 = exhaustive)")
+		withF    = fs.Bool("f", true, "also measure the §4.1 quantity f(n)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *states < 1 || *states > 4 {
+		return fmt.Errorf("-states must be 1..4 (the 4-state space is astronomically large; use -cap)")
+	}
+	opts := search.Options{MaxInput: *maxInput, MaxCandidates: *cap}
+
+	start := time.Now()
+	res := search.BusyBeaver(*states, opts)
+	fmt.Printf("%s  [%s]\n", res.String(), time.Since(start).Round(time.Millisecond))
+	if res.Best != nil {
+		fmt.Printf("witness protocol:\n%s", res.Best.String())
+	}
+	if *withF {
+		start = time.Now()
+		fres, err := search.F(*states, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nf(%d) = %d restricted to inputs ≤ %d (candidates %d, exhaustive %t)  [%s]\n",
+			fres.States, fres.MaxMinInput, fres.MaxInput, fres.Candidates, fres.Exhaustive,
+			time.Since(start).Round(time.Millisecond))
+		if fres.Witness != nil {
+			fmt.Printf("witness protocol:\n%s", fres.Witness.String())
+		}
+	}
+	return nil
+}

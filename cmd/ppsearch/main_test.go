@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunTwoStates(t *testing.T) {
+	if err := run([]string{"-states", "2", "-max-input", "7"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCapped(t *testing.T) {
+	if err := run([]string{"-states", "3", "-cap", "500", "-max-input", "5", "-f=false"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-states", "9"}); err == nil {
+		t.Error("too many states should error")
+	}
+	if err := run([]string{"-states", "0"}); err == nil {
+		t.Error("zero states should error")
+	}
+}

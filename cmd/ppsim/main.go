@@ -1,0 +1,137 @@
+// Command ppsim simulates a population protocol under the uniform random
+// scheduler and reports the stable outcome and parallel time.
+//
+// Usage:
+//
+//	ppsim -protocol flock:8 -input 20
+//	ppsim -protocol majority -input 12,9 -runs 20
+//	ppsim -file proto.json -input 10 -seed 7 -exact
+//
+// Built-in protocol specs are documented in `ppsim -h` (flock:η,
+// succinct:k, binary:η, majority, parity, mod:m:r, leaderflock:η).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+	"repro/internal/protocols"
+	"repro/internal/sim"
+	"repro/internal/stable"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppsim", flag.ContinueOnError)
+	var (
+		spec  = fs.String("protocol", "", "built-in protocol spec (flock:η, succinct:k, binary:η, majority, parity, mod:m:r, leaderflock:η)")
+		file  = fs.String("file", "", "JSON protocol file (alternative to -protocol)")
+		input = fs.String("input", "", "input multiset, e.g. \"20\" or \"12,9\" for two variables")
+		seed  = fs.Uint64("seed", 1, "RNG seed")
+		steps = fs.Int64("steps", 0, "interaction budget (0 = default)")
+		runs  = fs.Int("runs", 1, "number of runs (statistics over seeds)")
+		exact = fs.Bool("exact", false, "use the exact stable-set oracle (backward coverability) for convergence detection")
+		trace = fs.Int64("trace", 0, "print a configuration snapshot every N interactions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProtocol(*spec, *file)
+	if err != nil {
+		return err
+	}
+	in, err := parseInput(*input, p.NumInputs())
+	if err != nil {
+		return err
+	}
+	c0 := p.InitialConfig(in)
+	fmt.Printf("protocol: %s (%d states, %d transitions)\n", p.Name(), p.NumStates(), p.NumTransitions())
+	fmt.Printf("input: %v → IC = %s (%d agents)\n", in, p.FormatConfig(c0), c0.Size())
+
+	opts := sim.Options{Seed: *seed, MaxSteps: *steps, TraceEvery: *trace}
+	if *exact {
+		a, err := stable.Analyze(p, stable.Options{})
+		if err != nil {
+			return fmt.Errorf("stable-set analysis: %w", err)
+		}
+		opts.Oracle = a
+	}
+	if *runs <= 1 {
+		st, err := sim.Run(p, c0, opts)
+		if err != nil {
+			return err
+		}
+		for _, tp := range st.Trace {
+			fmt.Printf("  t=%-10d %s\n", tp.Interactions, p.FormatConfig(tp.Config))
+		}
+		if !st.Converged {
+			fmt.Printf("did not converge within %d interactions (parallel time %.1f)\n",
+				st.Interactions, st.ParallelTime)
+			return nil
+		}
+		fmt.Printf("stable output: %d after %d interactions (parallel time %.1f, consensus at %d)\n",
+			st.Output, st.Interactions, st.ParallelTime, st.ConsensusAt)
+		fmt.Printf("final configuration: %s\n", p.FormatConfig(st.Final))
+		return nil
+	}
+	est, err := sim.EstimateParallelTime(p, c0, *runs, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(est)
+	return nil
+}
+
+func loadProtocol(spec, file string) (*protocol.Protocol, error) {
+	switch {
+	case spec != "" && file != "":
+		return nil, fmt.Errorf("use either -protocol or -file, not both")
+	case spec != "":
+		e, err := protocols.FromName(spec)
+		if err != nil {
+			return nil, err
+		}
+		return e.Protocol, nil
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Parse(data)
+	default:
+		return nil, fmt.Errorf("missing -protocol or -file")
+	}
+}
+
+func parseInput(s string, arity int) (multiset.Vec, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -input")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != arity {
+		return nil, fmt.Errorf("input has %d components, protocol expects %d", len(parts), arity)
+	}
+	v := multiset.New(arity)
+	for i, part := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad input component %q", part)
+		}
+		v[i] = n
+	}
+	if v.Size() < 2 {
+		return nil, fmt.Errorf("populations need at least 2 agents, got %d", v.Size())
+	}
+	return v, nil
+}

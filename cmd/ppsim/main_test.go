@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "flock:4", "-input", "8", "-seed", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMultiInput(t *testing.T) {
+	if err := run([]string{"-protocol", "majority", "-input", "5,2", "-seed", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithExactOracleAndRuns(t *testing.T) {
+	if err := run([]string{"-protocol", "succinct:2", "-input", "9", "-exact", "-runs", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	if err := run([]string{"-protocol", "parity", "-input", "5", "-trace", "2"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	spec := `{
+	  "name": "all-yes",
+	  "states": [{"name": "n", "output": 0}, {"name": "y", "output": 1}],
+	  "transitions": [["n","n","y","y"], ["n","y","y","y"]],
+	  "inputs": {"x": "n"},
+	  "completeWithIdentity": true
+	}`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path, "-input", "4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"no protocol":       {"-input", "4"},
+		"both sources":      {"-protocol", "parity", "-file", "x.json", "-input", "4"},
+		"bad spec":          {"-protocol", "zzz", "-input", "4"},
+		"missing input":     {"-protocol", "parity"},
+		"wrong arity":       {"-protocol", "majority", "-input", "4"},
+		"negative input":    {"-protocol", "parity", "-input", "-3"},
+		"population of one": {"-protocol", "parity", "-input", "1"},
+		"missing file":      {"-file", "/nonexistent.json", "-input", "4"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltin(t *testing.T) {
+	if err := run([]string{"-protocol", "binary:5", "-max", "7"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-protocol", "majority", "-max", "5"}); err != nil {
+		t.Fatalf("run majority: %v", err)
+	}
+}
+
+func TestRunFileWithThreshold(t *testing.T) {
+	// The all-convert protocol computes x ≥ 2 (constant true on valid
+	// inputs).
+	spec := `{
+	  "name": "all-yes",
+	  "states": [{"name": "n", "output": 0}, {"name": "y", "output": 1}],
+	  "transitions": [["n","n","y","y"], ["n","y","y","y"]],
+	  "inputs": {"x": "n"},
+	  "completeWithIdentity": true
+	}`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(spec), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path, "-threshold", "2", "-max", "6"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"no source":    {"-max", "4"},
+		"bad spec":     {"-protocol", "zzz"},
+		"file needs φ": {"-file", "/nonexistent.json"},
+		"missing file": {"-file", "/nonexistent.json", "-threshold", "2"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package pp is a Go library for population protocols, built as a faithful,
+// executable reproduction of
+//
+//	Czerner, Esparza, Leroux: "Lower Bounds on the State Complexity of
+//	Population Protocols", PODC 2021 (arXiv:2102.11619).
+//
+// Population protocols (Angluin et al.) are networks of indistinguishable
+// finite-state agents that interact in uniformly random pairs and decide
+// predicates over their initial configuration by stable consensus. The
+// paper bounds the *busy beaver function* of the model: how large a
+// threshold η can a protocol with n states decide (predicate x ≥ η)?
+//
+// The library provides, per the paper's structure:
+//
+//   - the protocol model, a zoo of classic constructions (Example 2.1's
+//     flock-of-birds and succinct protocols, binary thresholds, majority,
+//     modulo, boolean products), and a JSON interchange format;
+//   - a stochastic simulator (uniform random scheduler, pluggable exact
+//     stability oracles) and an exact verifier (bottom-SCC analysis of the
+//     finite configuration graph);
+//   - stable-set computation via backward coverability, ideal bases (B,S),
+//     and the small basis constant β of Lemma 3.2;
+//   - a Contejean–Devie solver for the potentially realisable transition
+//     multisets of Definition 4 and Pottier's bound (Theorem 5.6);
+//   - executable pumping certificates implementing the proofs of
+//     Theorem 4.5 (Dickson chains) and Theorem 5.9 (saturation +
+//     concentration), with independent checkers;
+//   - the paper's constants (β, ϑ, ξ) and bounds in exact arithmetic, the
+//     Fast-Growing Hierarchy fragment of Section 4, and an exhaustive busy
+//     beaver search for tiny protocols.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced results (regenerate them with
+// `go run ./cmd/ppexperiments`).
+package pp

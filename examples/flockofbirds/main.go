@@ -1,0 +1,70 @@
+// Flock of birds: the paper's running example of state complexity.
+//
+// "Is the flock at least η birds large?" Example 2.1 gives two protocols
+// for x ≥ 2^k — the naive P_k with 2^k+1 states and the succinct P'_k with
+// k+2 states — and the library adds a binary-expansion protocol handling
+// arbitrary η with O(log η) states. This example builds all three for the
+// same threshold, verifies their behaviour, and prints the state-complexity
+// comparison that motivates the busy beaver function BB(n).
+//
+// Run with: go run ./examples/flockofbirds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pp "repro"
+)
+
+func main() {
+	const k = 4
+	eta := int64(1) << k // η = 16
+
+	entries := []struct {
+		label string
+		entry pp.Entry
+	}{
+		{"P_k   (flock-of-birds)", pp.FlockOfBirds(eta)},
+		{"P'_k  (succinct)", pp.Succinct(k)},
+		{"binary(η)", pp.BinaryThreshold(eta)},
+	}
+
+	fmt.Printf("three protocols for x ≥ %d\n\n", eta)
+	fmt.Printf("%-24s %8s %14s %14s\n", "construction", "|Q|", "sim x=η−1", "sim x=η")
+	for _, e := range entries {
+		p := e.entry.Protocol
+		below, err := pp.Simulate(p, p.InitialConfigN(eta-1), pp.SimOptions{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		at, err := pp.Simulate(p, p.InitialConfigN(eta), pp.SimOptions{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %8d %14s %14s\n", e.label, p.NumStates(),
+			verdict(below, 0), verdict(at, 1))
+	}
+
+	fmt.Println()
+	fmt.Println("state complexity of x ≥ η (Section 2.3):")
+	fmt.Printf("  naive:    η+1        = %d states\n", eta+1)
+	fmt.Printf("  succinct: k+2        = %d states (η a power of two)\n", k+2)
+	fmt.Printf("  binary:   ≤2⌈log η⌉+3 = %d states (any η)\n",
+		pp.BinaryThreshold(eta).Protocol.NumStates())
+	fmt.Println()
+	fmt.Println("the paper's theorems bracket how far this compression can go:")
+	fmt.Printf("  BB(n) ≥ 2^(n−2)           (Theorem 2.2, witnessed by P'_k)\n")
+	fmt.Printf("  BB(n) ≤ 2^((2n+2)!)       (Theorem 5.9) — e.g. n=6: 2^((14)!)\n")
+	fmt.Printf("  with leaders, only an F_ω-level bound is known (Theorem 4.5)\n")
+}
+
+func verdict(st pp.SimStats, want int) string {
+	if !st.Converged {
+		return "no consensus"
+	}
+	if st.Output == want {
+		return fmt.Sprintf("✓ output %d", st.Output)
+	}
+	return fmt.Sprintf("✗ output %d", st.Output)
+}

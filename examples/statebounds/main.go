@@ -1,0 +1,77 @@
+// Statebounds: run the paper's Theorem 5.9 proof as an algorithm.
+//
+// Given a leaderless protocol, the pipeline (Sections 5.3–5.5) finds a
+// machine-checkable *pumping certificate*: a concrete input A and step B
+// such that the protocol provably gives the same stable answer on every
+// input A, A+B, A+2B, ... — hence, if the protocol computes x ≥ η at all,
+// then η ≤ A. The certificate carries explicit transition sequences and a
+// small potentially realisable multiset θ (Corollary 5.7); an independent
+// checker replays everything with exact arithmetic.
+//
+// Run with: go run ./examples/statebounds
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	pp "repro"
+)
+
+func main() {
+	for _, tc := range []struct {
+		label string
+		entry pp.Entry
+		eta   int64
+	}{
+		{"flock-of-birds, η=4", pp.FlockOfBirds(4), 4},
+		{"succinct P'_2, η=4", pp.Succinct(2), 4},
+		{"binary threshold, η=5", pp.BinaryThreshold(5), 5},
+	} {
+		p := tc.entry.Protocol
+		fmt.Printf("=== %s (%d states) ===\n", tc.label, p.NumStates())
+
+		cert, err := pp.FindLeaderlessCertificate(p, pp.PumpOptions{Seed: 5})
+		if err != nil {
+			log.Fatalf("%s: %v", tc.label, err)
+		}
+		fmt.Printf("certificate: η ≤ %d, pumping step %d\n", cert.A, cert.B)
+		fmt.Printf("  saturated D: %d agents (%d-saturated, via Lemma 5.4's IC(3^j) construction)\n",
+			cert.D.Size(), minCount(cert.D))
+		fmt.Printf("  stable ideal: S = %v, |Da| = %d\n", stateNames(p, cert.S), cert.Da.Size())
+		fmt.Printf("  θ (Corollary 5.7): %d transitions, witness Db = %s\n",
+			cert.Theta.Size(), p.FormatConfig(cert.Db))
+
+		if err := pp.CheckLeaderlessCertificate(p, cert, nil); err != nil {
+			log.Fatalf("checker rejected: %v", err)
+		}
+		fmt.Println("  independent checker: certificate VALID")
+
+		n, t := int64(p.NumStates()), int64(p.NumTransitions())
+		fmt.Printf("  true η = %d  |  certified A = %d  |  a-priori Theorem 5.9 bound = %s\n\n",
+			tc.eta, cert.A, pp.Theorem59Bound(n, t))
+	}
+	fmt.Println("reading: the certificate bound sits between the true threshold and the")
+	fmt.Println("paper's worst-case 2^((2n+2)!) — the proof is constructive, and running it")
+	fmt.Println("on real protocols shows how much slack the worst-case analysis carries.")
+}
+
+func minCount(c pp.Config) int64 {
+	m := c[0]
+	for _, v := range c {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func stateNames(p *pp.Protocol, s map[int]bool) []string {
+	var out []string
+	for q := range s {
+		out = append(out, p.StateName(pp.State(q)))
+	}
+	sort.Strings(out)
+	return out
+}

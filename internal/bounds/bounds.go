@@ -1,0 +1,201 @@
+// Package bounds computes the paper's explicit constants and bounds with
+// exact arithmetic:
+//
+//   - the small basis constant β(n) = 2^(2(2n+1)!+1) (Definition 3, from
+//     Lemma 3.2's Rackoff-style argument);
+//   - ϑ(n) = 2^((2n+2)!), the bound on the number of basis elements
+//     (Lemma 3.2);
+//   - the Pottier constant ξ = 2(2|T|+1)^|Q| (Definition 6);
+//   - the Theorem 5.9 busy beaver bound η ≤ ξ·n·β·3ⁿ ≤ 2^((2n+2)!) for
+//     leaderless protocols;
+//   - the Theorem 2.2 lower bounds BB(n) ∈ Ω(2ⁿ), BBL(n) ∈ Ω(2^(2ⁿ)).
+//
+// These constants overflow fixed-width integers for every interesting n, so
+// the package works with exact big.Int exponents: a Huge value represents
+// 2^e · m exactly and prints in a human-readable iterated-exponential form.
+package bounds
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrNotRepresentable is returned when an exact expansion is requested for
+// a value whose binary representation would be impractically large.
+var ErrNotRepresentable = errors.New("bounds: value too large for exact expansion")
+
+var (
+	one = big.NewInt(1)
+	two = big.NewInt(2)
+)
+
+// maxExactBits caps exact expansions (2^24 bits ≈ 2 MiB numbers).
+const maxExactBits = 1 << 24
+
+// Huge represents the exact value Mantissa · 2^Exp2 with Mantissa ≥ 1,
+// which is how all of the paper's constants naturally arise.
+type Huge struct {
+	Mantissa *big.Int
+	Exp2     *big.Int
+}
+
+// NewHuge returns mantissa · 2^exp2.
+func NewHuge(mantissa, exp2 *big.Int) Huge {
+	return Huge{Mantissa: new(big.Int).Set(mantissa), Exp2: new(big.Int).Set(exp2)}
+}
+
+// HugeFromInt returns an exact Huge for a plain integer.
+func HugeFromInt(v *big.Int) Huge {
+	return Huge{Mantissa: new(big.Int).Set(v), Exp2: new(big.Int)}
+}
+
+// Exact expands the value into a single big.Int when representable.
+func (h Huge) Exact() (*big.Int, error) {
+	if !h.Exp2.IsInt64() || h.Exp2.Int64() > maxExactBits {
+		return nil, fmt.Errorf("%w: 2^%s", ErrNotRepresentable, h.Exp2)
+	}
+	out := new(big.Int).Lsh(h.Mantissa, uint(h.Exp2.Int64()))
+	return out, nil
+}
+
+// Log2Floor returns ⌊log₂⌋ of the value, exactly.
+func (h Huge) Log2Floor() *big.Int {
+	out := new(big.Int).Set(h.Exp2)
+	if h.Mantissa.Sign() > 0 {
+		out.Add(out, big.NewInt(int64(h.Mantissa.BitLen()-1)))
+	}
+	return out
+}
+
+// Cmp compares two Huge values exactly.
+func (h Huge) Cmp(o Huge) int {
+	// Compare m1·2^e1 vs m2·2^e2 via log alignment: shift the smaller
+	// exponent's mantissa. If exponent gap is enormous, the bit lengths
+	// decide.
+	gap := new(big.Int).Sub(h.Exp2, o.Exp2)
+	l1 := big.NewInt(int64(h.Mantissa.BitLen()))
+	l2 := big.NewInt(int64(o.Mantissa.BitLen()))
+	lo := new(big.Int).Add(gap, new(big.Int).Sub(l1, one)) // ⌊log2 h⌋ − e2
+	hi := new(big.Int).Add(gap, l1)
+	if hi.Cmp(new(big.Int).Sub(l2, one)) < 0 {
+		return -1
+	}
+	if lo.Cmp(l2) > 0 {
+		return 1
+	}
+	// Exponent gap is small enough to align exactly.
+	g := new(big.Int).Sub(h.Exp2, o.Exp2)
+	a := new(big.Int).Set(h.Mantissa)
+	b := new(big.Int).Set(o.Mantissa)
+	if g.Sign() >= 0 {
+		a.Lsh(a, uint(g.Int64()))
+	} else {
+		b.Lsh(b, uint(new(big.Int).Neg(g).Int64()))
+	}
+	return a.Cmp(b)
+}
+
+// String renders the value as "m·2^e" (or the plain integer when small).
+func (h Huge) String() string {
+	if v, err := h.Exact(); err == nil && v.BitLen() <= 64 {
+		return v.String()
+	}
+	if h.Mantissa.Cmp(one) == 0 {
+		return fmt.Sprintf("2^%s", h.Exp2)
+	}
+	return fmt.Sprintf("%s·2^%s", h.Mantissa, h.Exp2)
+}
+
+// Factorial returns n! exactly.
+func Factorial(n int64) *big.Int {
+	out := big.NewInt(1)
+	for i := int64(2); i <= n; i++ {
+		out.Mul(out, big.NewInt(i))
+	}
+	return out
+}
+
+// BetaExponent returns 2(2n+1)!+1, the exponent of the small basis constant.
+func BetaExponent(n int64) *big.Int {
+	e := Factorial(2*n + 1)
+	e.Lsh(e, 1)
+	return e.Add(e, one)
+}
+
+// Beta returns the small basis constant β(n) = 2^(2(2n+1)!+1) of
+// Definition 3.
+func Beta(n int64) Huge {
+	return Huge{Mantissa: new(big.Int).Set(one), Exp2: BetaExponent(n)}
+}
+
+// ThetaExponent returns (2n+2)!, the exponent of ϑ(n).
+func ThetaExponent(n int64) *big.Int {
+	return Factorial(2*n + 2)
+}
+
+// Theta returns ϑ(n) = 2^((2n+2)!), Lemma 3.2's bound on the number of
+// basis elements of a stable set.
+func Theta(n int64) Huge {
+	return Huge{Mantissa: new(big.Int).Set(one), Exp2: ThetaExponent(n)}
+}
+
+// Xi returns the Pottier constant ξ = 2(2T+1)^Q of Definition 6 for a
+// protocol with T transitions and Q states.
+func Xi(transitions, states int64) *big.Int {
+	base := big.NewInt(2*transitions + 1)
+	out := new(big.Int).Exp(base, big.NewInt(states), nil)
+	return out.Lsh(out, 1)
+}
+
+// XiDeterministic returns the sharper constant 2(Q+2)^Q available for
+// deterministic protocols (Remark 1).
+func XiDeterministic(states int64) *big.Int {
+	base := big.NewInt(states + 2)
+	out := new(big.Int).Exp(base, big.NewInt(states), nil)
+	return out.Lsh(out, 1)
+}
+
+// Theorem59 returns the Theorem 5.9 bound ξ·n·β·3ⁿ on η for a leaderless
+// protocol with n states and T transitions computing x ≥ η.
+func Theorem59(states, transitions int64) Huge {
+	// ξ·n·3ⁿ is the mantissa; β contributes the 2-exponent.
+	m := Xi(transitions, states)
+	m.Mul(m, big.NewInt(states))
+	m.Mul(m, new(big.Int).Exp(big.NewInt(3), big.NewInt(states), nil))
+	return Huge{Mantissa: m, Exp2: BetaExponent(states)}
+}
+
+// Theorem59Simplified returns the closed form 2^((2n+2)!) that Theorem 5.9
+// derives from the explicit bound (valid for n ≥ 2).
+func Theorem59Simplified(states int64) Huge {
+	return Huge{Mantissa: new(big.Int).Set(one), Exp2: Factorial(2*states + 2)}
+}
+
+// BBLowerLeaderless returns the Theorem 2.2 lower bound witness: with n ≥ 3
+// states, the succinct protocol P'_(n−2) computes x ≥ 2^(n−2), so
+// BB(n) ≥ 2^(n−2) ∈ Ω(2ⁿ).
+func BBLowerLeaderless(states int64) Huge {
+	if states < 3 {
+		return HugeFromInt(one)
+	}
+	return Huge{Mantissa: new(big.Int).Set(one), Exp2: big.NewInt(states - 2)}
+}
+
+// BBLLowerWithLeaders returns the Theorem 2.2 lower bound Ω(2^(2ⁿ)) for
+// protocols with leaders (construction in Blondin et al. [12], cited but
+// not reproduced; see DESIGN.md substitution 3).
+func BBLLowerWithLeaders(states int64) Huge {
+	if states < 1 {
+		return HugeFromInt(one)
+	}
+	e := new(big.Int).Lsh(one, uint(states))
+	return Huge{Mantissa: new(big.Int).Set(one), Exp2: e}
+}
+
+// RackoffBound returns the Lemma 3.2 coverability-length bound: a covering
+// execution, if one exists, can be chosen of length at most β(n) (via
+// Rackoff's theorem, see Esparza's lecture notes Thm 3.12.11 as cited).
+func RackoffBound(states int64) Huge {
+	return Beta(states)
+}

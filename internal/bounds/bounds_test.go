@@ -1,0 +1,168 @@
+package bounds
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func TestFactorial(t *testing.T) {
+	tests := []struct{ n, want int64 }{
+		{0, 1}, {1, 1}, {2, 2}, {5, 120}, {10, 3628800},
+	}
+	for _, tc := range tests {
+		if got := Factorial(tc.n); got.Cmp(bi(tc.want)) != 0 {
+			t.Errorf("%d! = %s, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBeta(t *testing.T) {
+	// β(1) = 2^(2·3!+1) = 2^13 = 8192.
+	b := Beta(1)
+	v, err := b.Exact()
+	if err != nil {
+		t.Fatalf("Beta(1).Exact: %v", err)
+	}
+	if v.Cmp(bi(8192)) != 0 {
+		t.Errorf("β(1) = %s, want 8192", v)
+	}
+	// β(2) = 2^(2·120+1) = 2^241: exact but large.
+	b2 := Beta(2)
+	if b2.Exp2.Cmp(bi(241)) != 0 {
+		t.Errorf("β(2) exponent = %s, want 241", b2.Exp2)
+	}
+	v2, err := b2.Exact()
+	if err != nil {
+		t.Fatalf("Beta(2).Exact: %v", err)
+	}
+	if v2.BitLen() != 242 {
+		t.Errorf("β(2) bit length = %d, want 242", v2.BitLen())
+	}
+	// β(6): exponent 2·13!+1 is not exactly expandable.
+	if _, err := Beta(6).Exact(); err == nil {
+		t.Error("β(6) should not be exactly expandable")
+	}
+}
+
+func TestTheta(t *testing.T) {
+	// ϑ(1) = 2^(4!) = 2^24.
+	v, err := Theta(1).Exact()
+	if err != nil {
+		t.Fatalf("Theta(1).Exact: %v", err)
+	}
+	if v.Cmp(new(big.Int).Lsh(bi(1), 24)) != 0 {
+		t.Errorf("ϑ(1) = %s, want 2^24", v)
+	}
+	if ThetaExponent(2).Cmp(bi(720)) != 0 {
+		t.Errorf("ϑ(2) exponent = %s, want 720", ThetaExponent(2))
+	}
+}
+
+func TestXi(t *testing.T) {
+	// ξ = 2(2T+1)^Q: T=3, Q=2 → 2·7² = 98.
+	if got := Xi(3, 2); got.Cmp(bi(98)) != 0 {
+		t.Errorf("ξ(3,2) = %s, want 98", got)
+	}
+	if got := Xi(0, 1); got.Cmp(bi(2)) != 0 {
+		t.Errorf("ξ(0,1) = %s, want 2", got)
+	}
+	// Deterministic variant: 2(Q+2)^Q: Q=3 → 2·125 = 250.
+	if got := XiDeterministic(3); got.Cmp(bi(250)) != 0 {
+		t.Errorf("ξdet(3) = %s, want 250", got)
+	}
+}
+
+func TestTheorem59(t *testing.T) {
+	// n=2, T=3: mantissa = ξ·n·3² = 98·2·9 = 1764, exponent = β(2)'s 241.
+	h := Theorem59(2, 3)
+	if h.Mantissa.Cmp(bi(1764)) != 0 {
+		t.Errorf("mantissa = %s, want 1764", h.Mantissa)
+	}
+	if h.Exp2.Cmp(bi(241)) != 0 {
+		t.Errorf("exponent = %s, want 241", h.Exp2)
+	}
+	// The simplified form 2^((2n+2)!) dominates the explicit bound for
+	// n ≥ 2 (the paper's final step).
+	for n := int64(2); n <= 6; n++ {
+		// A protocol with n states has at most n(n+1)/2 pairs and (per
+		// pair) arbitrarily many transitions, but the count that enters ξ
+		// for the paper's estimate is |T| ≤ n⁴ (they use 2n⁴+1 ≥ 2|T|+1).
+		trans := n * n * n * n
+		explicit := Theorem59(n, trans)
+		simplified := Theorem59Simplified(n)
+		if explicit.Cmp(simplified) > 0 {
+			t.Errorf("n=%d: explicit bound exceeds 2^((2n+2)!)", n)
+		}
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	// BB(5) ≥ 2^3 via P'_3 (5 states).
+	v, err := BBLowerLeaderless(5).Exact()
+	if err != nil || v.Cmp(bi(8)) != 0 {
+		t.Errorf("BB lower(5) = %v, %v; want 8", v, err)
+	}
+	if got := BBLowerLeaderless(2); got.Mantissa.Cmp(bi(1)) != 0 || got.Exp2.Sign() != 0 {
+		t.Errorf("BB lower(2) = %s, want 1", got)
+	}
+	// BBL(3) ≥ 2^(2³) = 256.
+	v, err = BBLLowerWithLeaders(3).Exact()
+	if err != nil || v.Cmp(bi(256)) != 0 {
+		t.Errorf("BBL lower(3) = %v, %v; want 256", v, err)
+	}
+	if got := BBLLowerWithLeaders(0); got.Exp2.Sign() != 0 {
+		t.Errorf("BBL lower(0) = %s", got)
+	}
+}
+
+func TestHugeCmp(t *testing.T) {
+	tests := []struct {
+		a, b Huge
+		want int
+	}{
+		{NewHuge(bi(1), bi(10)), NewHuge(bi(1), bi(10)), 0},
+		{NewHuge(bi(1), bi(10)), NewHuge(bi(1), bi(11)), -1},
+		{NewHuge(bi(3), bi(10)), NewHuge(bi(1), bi(11)), 1}, // 3·2^10 > 2^11
+		{NewHuge(bi(1), bi(100000)), NewHuge(bi(999), bi(10)), 1},
+		{NewHuge(bi(7), bi(0)), NewHuge(bi(8), bi(0)), -1},
+		{NewHuge(bi(4), bi(5)), NewHuge(bi(1), bi(7)), 0}, // 4·2^5 = 2^7
+	}
+	for i, tc := range tests {
+		if got := tc.a.Cmp(tc.b); got != tc.want {
+			t.Errorf("case %d: Cmp(%s, %s) = %d, want %d", i, tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Cmp(tc.a); got != -tc.want {
+			t.Errorf("case %d: antisymmetry violated", i)
+		}
+	}
+}
+
+func TestHugeStringAndLog(t *testing.T) {
+	h := NewHuge(bi(1), bi(13))
+	if got := h.String(); got != "8192" {
+		t.Errorf("String = %q, want 8192", got)
+	}
+	big1 := NewHuge(bi(1), bi(500))
+	if got := big1.String(); got != "2^500" {
+		t.Errorf("String = %q", got)
+	}
+	big2 := NewHuge(bi(5), bi(500))
+	if got := big2.String(); !strings.Contains(got, "5·2^500") {
+		t.Errorf("String = %q", got)
+	}
+	if got := big2.Log2Floor(); got.Cmp(bi(502)) != 0 {
+		t.Errorf("Log2Floor = %s, want 502", got)
+	}
+	if got := HugeFromInt(bi(40)).Log2Floor(); got.Cmp(bi(5)) != 0 {
+		t.Errorf("Log2Floor(40) = %s, want 5", got)
+	}
+}
+
+func TestRackoffBoundMatchesBeta(t *testing.T) {
+	if RackoffBound(3).Cmp(Beta(3)) != 0 {
+		t.Error("Rackoff bound is β by construction")
+	}
+}

@@ -1,0 +1,64 @@
+package dioph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/multiset"
+)
+
+// TestAblationAgreesWithCD: the no-criterion baseline and the CD solver
+// must compute identical bases on small random systems.
+func TestAblationAgreesWithCD(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, v := randomSystem(rr)
+		cd, err1 := HilbertBasisEq(a, v, Options{})
+		naive, err2 := HilbertBasisEqNoCriterion(a, v, Options{})
+		if err1 != nil || err2 != nil {
+			// Budget blowups can legitimately differ; skip those seeds.
+			return true
+		}
+		if len(cd) != len(naive) {
+			return false
+		}
+		for _, m := range cd {
+			if !containsVec(naive, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAblationKnownSystem(t *testing.T) {
+	got, err := HilbertBasisEqNoCriterion([][]int64{{1, 1, -2}}, 3, Options{})
+	if err != nil {
+		t.Fatalf("ablation: %v", err)
+	}
+	assertSameVecSet(t, got, []multiset.Vec{{2, 0, 1}, {0, 2, 1}, {1, 1, 1}})
+}
+
+// BenchmarkCDvsNoCriterion quantifies the value of the Contejean–Devie
+// expansion criterion (the DESIGN.md ablation).
+func BenchmarkCDvsNoCriterion(b *testing.B) {
+	a := [][]int64{{2, -3, 1}, {1, 1, -2}}
+	b.Run("contejean-devie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := HilbertBasisEq(a, 3, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("no-criterion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := HilbertBasisEqNoCriterion(a, 3, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package dioph
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/multiset"
+)
+
+func TestHilbertBasisKnownSystems(t *testing.T) {
+	tests := []struct {
+		name string
+		a    [][]int64
+		v    int
+		want []multiset.Vec
+	}{
+		{
+			name: "y0 = y1",
+			a:    [][]int64{{1, -1}},
+			v:    2,
+			want: []multiset.Vec{{1, 1}},
+		},
+		{
+			name: "2y0 = 3y1",
+			a:    [][]int64{{2, -3}},
+			v:    2,
+			want: []multiset.Vec{{3, 2}},
+		},
+		{
+			name: "no rows: units",
+			a:    nil,
+			v:    3,
+			want: []multiset.Vec{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		},
+		{
+			name: "y0 + y1 = 0: only trivial",
+			a:    [][]int64{{1, 1}},
+			v:    2,
+			want: nil,
+		},
+		{
+			name: "y0 + y1 = 2y2",
+			a:    [][]int64{{1, 1, -2}},
+			v:    3,
+			want: []multiset.Vec{{2, 0, 1}, {0, 2, 1}, {1, 1, 1}},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := HilbertBasisEq(tc.a, tc.v, Options{})
+			if err != nil {
+				t.Fatalf("HilbertBasisEq: %v", err)
+			}
+			assertSameVecSet(t, got, tc.want)
+		})
+	}
+}
+
+func TestGeneratorsIneqKnown(t *testing.T) {
+	// y0 ≥ y1: generators are (1,0) and (1,1); note (1,1) is not minimal as
+	// a vector but is indispensable as a generator.
+	got, err := GeneratorsIneq([][]int64{{1, -1}}, 2, Options{})
+	if err != nil {
+		t.Fatalf("GeneratorsIneq: %v", err)
+	}
+	assertSameVecSet(t, got, []multiset.Vec{{1, 0}, {1, 1}})
+}
+
+func TestSolutionPredicates(t *testing.T) {
+	a := [][]int64{{1, -1}}
+	if !IsSolutionEq(a, multiset.Vec{2, 2}) || IsSolutionEq(a, multiset.Vec{2, 1}) {
+		t.Fatal("IsSolutionEq wrong")
+	}
+	if !IsSolutionIneq(a, multiset.Vec{2, 1}) || IsSolutionIneq(a, multiset.Vec{1, 2}) {
+		t.Fatal("IsSolutionIneq wrong")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	a := [][]int64{{1, 1, -2}}
+	_, err := HilbertBasisEq(a, 3, Options{MaxCandidates: 2})
+	if !errors.Is(err, ErrSearchTooLarge) {
+		t.Fatalf("want ErrSearchTooLarge, got %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := HilbertBasisEq([][]int64{{1, 2}}, 3, Options{}); err == nil {
+		t.Fatal("want column mismatch error")
+	}
+	if _, err := GeneratorsIneq([][]int64{{1}}, -1, Options{}); err == nil {
+		t.Fatal("want negative variable error")
+	}
+}
+
+func TestPottierBounds(t *testing.T) {
+	a := [][]int64{{2, -3}, {1, 1}}
+	// max row 1-norm = 5; bound = 6² = 36.
+	if got := PottierBound(a); got.Cmp(big.NewInt(36)) != 0 {
+		t.Fatalf("PottierBound = %s, want 36", got)
+	}
+	// slack bound = 7² = 49.
+	if got := SlackPottierBound(a); got.Cmp(big.NewInt(49)) != 0 {
+		t.Fatalf("SlackPottierBound = %s, want 49", got)
+	}
+	if got := PottierBound(nil); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("PottierBound of empty system = %s, want 1", got)
+	}
+}
+
+// randomSystem builds a small random matrix.
+func randomSystem(rr *rand.Rand) ([][]int64, int) {
+	e := 1 + rr.Intn(2)
+	v := 2 + rr.Intn(2)
+	a := make([][]int64, e)
+	for i := range a {
+		a[i] = make([]int64, v)
+		for j := range a[i] {
+			a[i][j] = int64(rr.Intn(5) - 2)
+		}
+	}
+	return a, v
+}
+
+// boxSolutions enumerates solutions in {0..bound}^v.
+func boxSolutions(a [][]int64, v int, bound int64, ineq bool) []multiset.Vec {
+	var out []multiset.Vec
+	cur := multiset.New(v)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == v {
+			if cur.IsZero() {
+				return
+			}
+			if ineq && IsSolutionIneq(a, cur) || !ineq && IsSolutionEq(a, cur) {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		for x := int64(0); x <= bound; x++ {
+			cur[i] = x
+			rec(i + 1)
+		}
+		cur[i] = 0
+	}
+	rec(0)
+	return out
+}
+
+// TestQuickHilbertMatchesBruteForce: within a box, the CD minimal solutions
+// coincide with the brute-force minimal solutions.
+func TestQuickHilbertMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, v := randomSystem(rr)
+		basis, err := HilbertBasisEq(a, v, Options{})
+		if err != nil {
+			return false
+		}
+		const bound = 5
+		brute := multiset.Minimal(boxSolutions(a, v, bound, false))
+		// Every brute minimal solution must be in the basis.
+		for _, m := range brute {
+			if !containsVec(basis, m) {
+				return false
+			}
+		}
+		// Every basis element within the box must be a brute minimal
+		// solution.
+		for _, b := range basis {
+			if b.NormInf() <= bound && !containsVec(brute, b) {
+				return false
+			}
+		}
+		// Basis elements are solutions and pairwise incomparable.
+		for i, b := range basis {
+			if !IsSolutionEq(a, b) {
+				return false
+			}
+			for j, c := range basis {
+				if i != j && b.Le(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGeneratorsComplete: every box solution of A·y ≥ 0 decomposes as
+// an ℕ-combination of the generators (the Hilbert/Pottier basis property
+// used by Corollary 5.7), and generators obey the slack Pottier bound.
+func TestQuickGeneratorsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, v := randomSystem(rr)
+		gens, err := GeneratorsIneq(a, v, Options{})
+		if err != nil {
+			return false
+		}
+		bound := SlackPottierBound(a)
+		for _, g := range gens {
+			if !IsSolutionIneq(a, g) {
+				return false
+			}
+			if big.NewInt(g.Norm1()).Cmp(bound) > 0 {
+				return false
+			}
+		}
+		for _, y := range boxSolutions(a, v, 3, true) {
+			if !decomposes(y, gens, map[string]bool{}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// decomposes reports whether y is a sum of a multiset of gens.
+func decomposes(y multiset.Vec, gens []multiset.Vec, memo map[string]bool) bool {
+	if y.IsZero() {
+		return true
+	}
+	k := y.Key()
+	if v, ok := memo[k]; ok {
+		return v
+	}
+	memo[k] = false // cycle guard (not needed: strictly decreasing)
+	for _, g := range gens {
+		if g.Le(y) && decomposes(y.Sub(g), gens, memo) {
+			memo[k] = true
+			return true
+		}
+	}
+	return false
+}
+
+func containsVec(vs []multiset.Vec, v multiset.Vec) bool {
+	for _, u := range vs {
+		if u.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func assertSameVecSet(t *testing.T, got, want []multiset.Vec) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d vectors %v, want %d %v", len(got), got, len(want), want)
+	}
+	for _, w := range want {
+		if !containsVec(got, w) {
+			t.Fatalf("missing %v in %v", w, got)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bounds"
+	"repro/internal/fgh"
+	"repro/internal/protocols"
+	"repro/internal/pump"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/stable"
+)
+
+// E6PumpingCertificates runs the full proof pipelines on concrete protocols:
+// the Lemma 5.2 (leaderless, Theorem 5.9) finder and the Lemma 4.1/4.2
+// (chain, Theorem 4.5) finder, each validated by its independent checker.
+func E6PumpingCertificates(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "Lemma 5.2 / Lemma 4.1 — machine-checked pumping certificates",
+		Claim:  "the proofs' witnesses exist and certify η ≤ A far below the a-priori bound ξnβ3ⁿ",
+		Header: []string{"protocol", "true η", "leaderless A", "B", "|θ|", "chain A", "chain B", "Thm 5.9 bound"},
+	}
+	cases := []struct {
+		name string
+		e    protocols.Entry
+		eta  int64
+	}{
+		{"flock(3)", protocols.FlockOfBirds(3), 3},
+		{"flock(4)", protocols.FlockOfBirds(4), 4},
+		{"flock(5)", protocols.FlockOfBirds(5), 5},
+		{"succinct(2)", protocols.Succinct(2), 4},
+		{"succinct(3)", protocols.Succinct(3), 8},
+		{"binary(5)", protocols.BinaryThreshold(5), 5},
+		{"binary(7)", protocols.BinaryThreshold(7), 7},
+		{"leader-flock(2)", protocols.LeaderFlock(2), 2},
+		{"leader-flock(3)", protocols.LeaderFlock(3), 3},
+	}
+	if cfg.Quick {
+		cases = cases[:3]
+	}
+	for _, tc := range cases {
+		p := tc.e.Protocol
+		llA, llB, llTheta := "n/a (leaders)", "", ""
+		if p.Leaderless() {
+			ll, err := pump.FindLeaderless(p, pump.FindOptions{Seed: cfg.Seed + 17})
+			if err != nil {
+				return nil, fmt.Errorf("%s leaderless: %w", tc.name, err)
+			}
+			if err := pump.CheckLeaderless(p, ll, nil); err != nil {
+				return nil, fmt.Errorf("%s leaderless check: %w", tc.name, err)
+			}
+			llA, llB = fmt.Sprint(ll.A), fmt.Sprint(ll.B)
+			llTheta = fmt.Sprint(ll.Theta.Size())
+		}
+		ch, err := pump.FindChain(p, pump.FindOptions{Seed: cfg.Seed + 11})
+		if err != nil {
+			return nil, fmt.Errorf("%s chain: %w", tc.name, err)
+		}
+		if err := pump.CheckChain(p, ch, nil); err != nil {
+			return nil, fmt.Errorf("%s chain check: %w", tc.name, err)
+		}
+		thm := bounds.Theorem59(int64(p.NumStates()), int64(p.NumTransitions()))
+		t.AddRow(tc.name, tc.eta, llA, llB, llTheta, ch.A, ch.B, thm.String())
+	}
+	t.Note("all certificates were validated by checkers that replay every path with exact arithmetic and re-derive stable-set memberships from scratch.")
+	t.Note("the chain pipeline (Theorem 4.5's proof) also certifies the leader protocols; the leaderless pipeline (Theorem 5.9) applies only without leaders, matching the paper's theorem statements.")
+	t.Note("the Theorem 5.9 column is stated for comparison on the leader rows too, although the theorem itself assumes leaderless protocols.")
+	return t, nil
+}
+
+// E7BoundsTable tabulates the paper's bounds: Theorem 2.2 lower bounds vs
+// the Theorem 5.9 leaderless upper bound and the Theorem 4.5 Ackermannian
+// level, as exact quantities.
+func E7BoundsTable(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "Theorem 2.2 vs Theorem 5.9 — the busy beaver sandwich",
+		Claim:  "2^(n−2) ≤ BB(n) ≤ ξ·n·β·3ⁿ ≤ 2^((2n+2)!), and BBL(n) ≥ 2^(2^n)",
+		Header: []string{"n", "BB(n) lower (P'_(n−2))", "BBL(n) lower [12]", "ξ·n·β·3ⁿ (T=n(n+1)/2)", "2^((2n+2)!)"},
+	}
+	maxN := int64(8)
+	if cfg.Quick {
+		maxN = 5
+	}
+	for n := int64(3); n <= maxN; n++ {
+		trans := n * (n + 1) / 2 // deterministic protocols: one transition per pair
+		t.AddRow(n,
+			bounds.BBLowerLeaderless(n).String(),
+			bounds.BBLLowerWithLeaders(n).String(),
+			bounds.Theorem59(n, trans).String(),
+			bounds.Theorem59Simplified(n).String(),
+		)
+	}
+	t.Note("the Theorem 4.5 bound for protocols with leaders is F_{ℓ,ϑ(n)} at level F_ω of the Fast-Growing Hierarchy — no closed numeric form exists; see E9 for the low levels.")
+	return t, nil
+}
+
+// E8BusyBeaverSearch measures the empirical busy beaver for tiny state
+// counts by exhaustive enumeration, and the Section 4.1 quantity f(n).
+func E8BusyBeaverSearch(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "Definition 1 / §4.1 — empirical busy beaver for tiny protocols",
+		Claim:  "exhaustive search over deterministic leaderless protocols",
+		Header: []string{"n", "candidates", "BB(n) observed", "f(n) observed", "verified inputs ≤", "exhaustive"},
+	}
+	// n = 2 exhaustively.
+	bb2 := search.BusyBeaver(2, search.Options{MaxInput: 9})
+	f2, err := search.F(2, search.Options{MaxInput: 9})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(2, bb2.Candidates, bb2.BestEta, f2.MaxMinInput, bb2.MaxInput, bb2.Exhaustive)
+
+	// n = 3: exhaustive only when FullSearch is set (≈373k candidates).
+	opts3 := search.Options{MaxInput: 8}
+	if !cfg.FullSearch {
+		opts3.MaxCandidates = 60_000
+	}
+	if cfg.Quick {
+		opts3.MaxCandidates = 5_000
+	}
+	bb3 := search.BusyBeaver(3, opts3)
+	t.AddRow(3, bb3.Candidates, bb3.BestEta, "-", bb3.MaxInput, bb3.Exhaustive)
+	if bb3.Best != nil {
+		t.Note("3-state witness:\n%s", bb3.Best.String())
+	}
+	t.Note("\"BB(n) observed\" is exact for the verified input range: the witness provably behaves as x ≥ η on every input ≤ the bound (threshold behaviour beyond it is unverified).")
+	return t, nil
+}
+
+// E9ControlledSequences exercises the Lemma 4.3/4.4 machinery: exact
+// longest controlled bad sequences for small dimensions, and the low levels
+// of the Fast-Growing Hierarchy and Ackermann function.
+func E9ControlledSequences(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Lemma 4.4 — controlled bad sequences and the Fast-Growing Hierarchy",
+		Claim:  "maximal controlled bad sequence lengths grow Ackermannian in the dimension",
+		Header: []string{"quantity", "value"},
+	}
+	// Longest controlled bad sequences (‖v_i‖∞ ≤ i + δ).
+	for _, d := range []int{1, 2} {
+		maxDelta := int64(3)
+		if d == 2 {
+			maxDelta = 2
+		}
+		if cfg.Quick {
+			maxDelta = 1
+		}
+		for delta := int64(0); delta <= maxDelta; delta++ {
+			budget := 1_500_000
+			seq, exact := fgh.LongestControlledBad(d, delta, budget)
+			mark := ""
+			if !exact {
+				mark = " (lower bound; budget exhausted)"
+			}
+			t.AddRow(fmt.Sprintf("L(dim=%d, δ=%d)", d, delta), fmt.Sprintf("%d%s", len(seq), mark))
+		}
+	}
+	// Fast-growing hierarchy low levels.
+	for k := 0; k <= 3; k++ {
+		x := int64(3)
+		if k == 3 {
+			x = 1
+		}
+		v, err := fgh.FastGrowing(k, big.NewInt(x))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("F_%d(%d)", k, x), v.String())
+	}
+	if _, err := fgh.FastGrowing(3, big.NewInt(10)); err != nil {
+		t.AddRow("F_3(10)", "not representable — "+err.Error())
+	}
+	// Ackermann diagonal and inverse.
+	for m := int64(0); m <= 3; m++ {
+		v, err := fgh.Ackermann(m, m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("A(%d,%d)", m, m), v.String())
+	}
+	t.AddRow("α(10^6)", fmt.Sprint(fgh.InverseAckermann(big.NewInt(1_000_000))))
+	t.Note("Theorem 4.5's F_{ℓ,ϑ(n)} lives at level F_ω: already F_3 escapes machine representation at argument 10.")
+	return t, nil
+}
+
+// E10ParallelTime measures stochastic convergence (parallel time =
+// interactions / n) of zoo protocols across population sizes — the
+// simulation series standing in for the runtime discussion of Section 1.
+func E10ParallelTime(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Section 1 — parallel convergence time under the random scheduler",
+		Claim:  "protocol convergence is measured in expected parallel time; state-efficient protocols pay with slower or more fragile convergence",
+		Header: []string{"protocol", "population", "runs", "converged", "mean parallel", "p95 parallel"},
+	}
+	runs := 15
+	sizes := []int64{16, 64, 256, 1024}
+	if cfg.Quick {
+		runs = 4
+		sizes = []int64{16, 64}
+	}
+	cases := []struct {
+		name string
+		e    protocols.Entry
+	}{
+		{"flock(8)", protocols.FlockOfBirds(8)},
+		{"succinct(3)", protocols.Succinct(3)},
+		{"binary(11)", protocols.BinaryThreshold(11)},
+		{"parity", protocols.Parity()},
+	}
+	for _, tc := range cases {
+		p := tc.e.Protocol
+		var oracle sim.Oracle = sim.Silence{P: p}
+		// The exact oracle is affordable for these protocols and detects
+		// convergence earlier than silence.
+		if a, err := stable.Analyze(p, stable.Options{MaxBasis: 50_000}); err == nil {
+			oracle = sim.FirstOf{a, sim.Silence{P: p}}
+		}
+		for _, n := range sizes {
+			est, err := sim.EstimateParallelTime(p, p.InitialConfigN(n), runs, sim.Options{
+				Seed:   cfg.Seed + uint64(n),
+				Oracle: oracle,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", tc.name, n, err)
+			}
+			t.AddRow(tc.name, n, est.Runs, est.Converged,
+				fmt.Sprintf("%.1f", est.MeanParallel), fmt.Sprintf("%.1f", est.P95Parallel))
+		}
+	}
+	t.Note("the 4-state exact-majority protocol is excluded here: its tie-breaking rule makes small-margin instances exponentially slow (correct but impractical under the random scheduler) — see the sim package tests.")
+	return t, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuick runs every experiment in quick mode — an end-to-end smoke
+// test of the whole pipeline (construction → verification → bounds →
+// certificates → search → simulation).
+func TestAllQuick(t *testing.T) {
+	tables, err := All(Config{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(tables) != 11 {
+		t.Fatalf("got %d tables, want 11", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
+			t.Fatalf("table %q incomplete", tb.ID)
+		}
+		if ids[tb.ID] {
+			t.Fatalf("duplicate table id %s", tb.ID)
+		}
+		ids[tb.ID] = true
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Fatalf("%s: row width %d != header %d", tb.ID, len(row), len(tb.Header))
+			}
+		}
+		// Renderings must contain the id and every header cell.
+		s, md := tb.String(), tb.Markdown()
+		for _, h := range tb.Header {
+			if !strings.Contains(s, h) || !strings.Contains(md, h) {
+				t.Fatalf("%s: header %q missing from rendering", tb.ID, h)
+			}
+		}
+	}
+}
+
+// TestE1VerdictsAllPass: every constructed protocol must verify.
+func TestE1VerdictsAllPass(t *testing.T) {
+	tb, err := E1Example21(Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "✓" || row[5] != "✓" {
+			t.Fatalf("E1 verdict failed: %v", row)
+		}
+	}
+}
+
+func TestE2VerdictsAllPass(t *testing.T) {
+	tb, err := E2BinaryThreshold(Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "✓" {
+			t.Fatalf("E2 verdict failed: %v", row)
+		}
+	}
+}
+
+func TestE4AllReplayed(t *testing.T) {
+	tb, err := E4Saturation(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "✓" || row[7] != "✓" {
+			t.Fatalf("E4 row failed: %v", row)
+		}
+		// |σ| must equal (3^j−1)/2.
+		if row[4] != row[5] {
+			t.Fatalf("E4 sequence length mismatch: %v", row)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow(1, "two")
+	tb.Note("hello %d", 42)
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "hello 42") {
+		t.Fatalf("String = %q", s)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | two |") {
+		t.Fatalf("Markdown = %q", md)
+	}
+}

@@ -1,0 +1,131 @@
+// Package experiments regenerates the tables recorded in EXPERIMENTS.md.
+// The paper (a theory paper) has no tables or figures of its own; each
+// experiment here is the executable counterpart of one of its constructions
+// or theorem-shaped claims, as laid out in DESIGN.md's experiment index
+// (E1–E10). Every experiment returns a Table that the ppexperiments command
+// renders as text or markdown and that bench_test.go times.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper claim being exercised
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form note rendered under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "*Claim:* %s\n\n", t.Claim)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*Note:* %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Config tunes the heavier experiments.
+type Config struct {
+	// Quick reduces input ranges and sample counts for use in tests and
+	// benchmarks; the ppexperiments command uses the full settings.
+	Quick bool
+	// FullSearch makes E8 enumerate the complete 3-state space (~373k
+	// protocols, tens of seconds).
+	FullSearch bool
+	// Seed drives all randomized components.
+	Seed uint64
+}
+
+// All runs every experiment and returns the tables in order.
+func All(cfg Config) ([]*Table, error) {
+	type exp struct {
+		id  string
+		run func(Config) (*Table, error)
+	}
+	list := []exp{
+		{"E1", E1Example21},
+		{"E2", E2BinaryThreshold},
+		{"E3", E3StableBases},
+		{"E4", E4Saturation},
+		{"E5", E5Pottier},
+		{"E6", E6PumpingCertificates},
+		{"E7", E7BoundsTable},
+		{"E8", E8BusyBeaverSearch},
+		{"E9", E9ControlledSequences},
+		{"E10", E10ParallelTime},
+		{"E11", E11CoverLengths},
+	}
+	var out []*Table
+	for _, e := range list {
+		t, err := e.run(cfg)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

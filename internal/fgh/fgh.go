@@ -1,0 +1,222 @@
+// Package fgh implements the fragments of the Fast-Growing Hierarchy and
+// Ackermann-function machinery that Section 4 of the paper builds on: the
+// functions F_k at finite levels (on exact big integers, with guards against
+// non-representable values), the Ackermann function and its inverse, and
+// exact maximal lengths of controlled bad sequences — the combinatorial
+// quantity behind Lemma 4.4 (Figueira et al. [19]).
+//
+// The paper's Theorem 4.5 bound F_{ℓ,ϑ(n)} lives at level F_ω; no value of
+// such a function at a non-trivial argument is representable, which is
+// precisely the paper's point (Section 4.1): the general bound is
+// astronomically far from the leaderless triple-exponential bound. This
+// package makes the low levels tangible and the growth gap measurable.
+package fgh
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/multiset"
+)
+
+// ErrTooLarge is returned when a requested value would not be representable
+// (more than ~16 million bits).
+var ErrTooLarge = errors.New("fgh: value too large to represent")
+
+// maxBits caps representable results.
+const maxBits = 1 << 24
+
+var one = big.NewInt(1)
+
+// describe renders an integer compactly for error messages: huge arguments
+// are summarised by bit length instead of printed in full.
+func describe(x *big.Int) string {
+	if x.BitLen() <= 64 {
+		return x.String()
+	}
+	return fmt.Sprintf("<%d-bit number>", x.BitLen())
+}
+
+// FastGrowing returns F_k(x) of the Fast-Growing Hierarchy:
+//
+//	F_0(x)   = x + 1
+//	F_{k+1}(x) = F_k^{x+1}(x)   (x+1–fold iteration)
+//
+// Closed forms are used for k ≤ 2 (F_1(x) = 2x+1, F_2(x) = (x+1)·2^(x+1) − 1);
+// higher levels iterate explicitly and return ErrTooLarge when the result
+// would exceed the representable range.
+func FastGrowing(k int, x *big.Int) (*big.Int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("fgh: negative level %d", k)
+	}
+	if x.Sign() < 0 {
+		return nil, fmt.Errorf("fgh: negative argument %s", x)
+	}
+	switch k {
+	case 0:
+		return new(big.Int).Add(x, one), nil
+	case 1:
+		// 2x + 1.
+		out := new(big.Int).Lsh(x, 1)
+		return out.Add(out, one), nil
+	case 2:
+		// (x+1)·2^(x+1) − 1.
+		if !x.IsInt64() || x.Int64() > maxBits {
+			return nil, fmt.Errorf("%w: F_2(%s)", ErrTooLarge, describe(x))
+		}
+		xp1 := new(big.Int).Add(x, one)
+		out := new(big.Int).Lsh(xp1, uint(x.Int64()+1))
+		return out.Sub(out, one), nil
+	default:
+		// F_k(x) = F_{k-1}^{x+1}(x).
+		if !x.IsInt64() {
+			return nil, fmt.Errorf("%w: F_%d(%s)", ErrTooLarge, k, describe(x))
+		}
+		n := x.Int64()
+		cur := new(big.Int).Set(x)
+		for i := int64(0); i <= n; i++ {
+			next, err := FastGrowing(k-1, cur)
+			if err != nil {
+				return nil, err
+			}
+			if next.BitLen() > maxBits {
+				return nil, fmt.Errorf("%w: F_%d(%s)", ErrTooLarge, k, x)
+			}
+			cur = next
+		}
+		return cur, nil
+	}
+}
+
+// Ackermann returns the two-argument Ackermann function A(m,n) using the
+// standard recursion A(0,n) = n+1, A(m+1,0) = A(m,1),
+// A(m+1,n+1) = A(m, A(m+1,n)), via closed forms:
+//
+//	A(1,n) = n+2,  A(2,n) = 2n+3,  A(3,n) = 2^(n+3) − 3,
+//	A(4,n) = 2↑↑(n+3) − 3.
+//
+// Values beyond the representable range return ErrTooLarge.
+func Ackermann(m, n int64) (*big.Int, error) {
+	if m < 0 || n < 0 {
+		return nil, fmt.Errorf("fgh: negative Ackermann argument (%d,%d)", m, n)
+	}
+	switch m {
+	case 0:
+		return big.NewInt(n + 1), nil
+	case 1:
+		return big.NewInt(n + 2), nil
+	case 2:
+		return big.NewInt(2*n + 3), nil
+	case 3:
+		if n+3 > 62 {
+			// Still representable as big.Int for larger n, just not via
+			// int64 shifts; handle up to maxBits.
+			if n+3 > maxBits {
+				return nil, fmt.Errorf("%w: A(3,%d)", ErrTooLarge, n)
+			}
+		}
+		out := new(big.Int).Lsh(one, uint(n+3))
+		return out.Sub(out, big.NewInt(3)), nil
+	case 4:
+		// 2↑↑(n+3) − 3: tower of height n+3.
+		tower := big.NewInt(1)
+		for i := int64(0); i < n+3; i++ {
+			if !tower.IsInt64() || tower.Int64() > maxBits {
+				return nil, fmt.Errorf("%w: A(4,%d)", ErrTooLarge, n)
+			}
+			tower = new(big.Int).Lsh(one, uint(tower.Int64()))
+		}
+		return tower.Sub(tower, big.NewInt(3)), nil
+	default:
+		if n == 0 {
+			return Ackermann(m-1, 1)
+		}
+		return nil, fmt.Errorf("%w: A(%d,%d)", ErrTooLarge, m, n)
+	}
+}
+
+// InverseAckermann returns α(n): the smallest k with A(k,k) ≥ n. For every
+// input that fits in memory the answer is at most 4 — A(4,4) = 2↑↑7 − 3 has
+// about 2^(2^65536) bits, far beyond any representable big.Int — which is
+// the sense in which an Ω(α(η)) lower bound is "roughly speaking" constant
+// and yet unbounded.
+func InverseAckermann(n *big.Int) int64 {
+	thresholds := []int64{1, 3, 7, 61} // A(0,0), A(1,1), A(2,2), A(3,3)
+	for k, v := range thresholds {
+		if n.Cmp(big.NewInt(v)) <= 0 {
+			return int64(k)
+		}
+	}
+	return 4
+}
+
+// LongestControlledBad searches for the longest bad sequence v_0, v_1, ...
+// of vectors in ℕ^d under the control ‖v_i‖∞ ≤ i + delta: no earlier
+// element may be ≤ a later one (Lemma 4.4's combinatorial core). It returns
+// the longest sequence found and whether the search was exhaustive within
+// the node budget (exact = true) — for small d and delta the returned
+// length is the exact maximum.
+func LongestControlledBad(d int, delta int64, budget int) (seq []multiset.Vec, exact bool) {
+	if d <= 0 {
+		return nil, true
+	}
+	var (
+		best      []multiset.Vec
+		cur       []multiset.Vec
+		nodes     int
+		exhausted = true
+	)
+	var rec func(step int64)
+	rec = func(step int64) {
+		if len(cur) > len(best) {
+			best = append([]multiset.Vec(nil), cur...)
+		}
+		if nodes >= budget {
+			exhausted = false
+			return
+		}
+		bound := step + delta
+		// Enumerate candidates v ∈ {0..bound}^d not dominating-forbidden:
+		// v is allowed iff no earlier u ≤ v.
+		v := multiset.New(d)
+		var enum func(i int)
+		enum = func(i int) {
+			if nodes >= budget {
+				exhausted = false
+				return
+			}
+			if i == d {
+				for _, u := range cur {
+					if u.Le(v) {
+						return
+					}
+				}
+				nodes++
+				cur = append(cur, v.Clone())
+				rec(step + 1)
+				cur = cur[:len(cur)-1]
+				return
+			}
+			for x := int64(0); x <= bound; x++ {
+				v[i] = x
+				enum(i + 1)
+			}
+			v[i] = 0
+		}
+		enum(0)
+	}
+	rec(0)
+	return best, exhausted
+}
+
+// IsControlledBad verifies that seq is a bad sequence obeying the control
+// ‖v_i‖∞ ≤ i + delta.
+func IsControlledBad(seq []multiset.Vec, delta int64) bool {
+	for i, v := range seq {
+		if v.NormInf() > int64(i)+delta {
+			return false
+		}
+	}
+	return multiset.IsBad(seq)
+}

@@ -1,0 +1,276 @@
+package ideal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/multiset"
+)
+
+// Ideal is a downward-closed "box" in ℕ^d: coordinate i is bounded by
+// caps[i], or unbounded when caps[i] == Omega. The paper's basis element
+// (B, S) corresponds to the ideal with caps[i] = B(i) off S and ω on S.
+type Ideal struct {
+	caps []int64
+}
+
+// NewIdeal returns an ideal with the given caps (Omega for ω coordinates).
+func NewIdeal(caps []int64) Ideal {
+	out := make([]int64, len(caps))
+	copy(out, caps)
+	return Ideal{caps: out}
+}
+
+// FullIdeal returns ℕ^d (all coordinates ω).
+func FullIdeal(d int) Ideal {
+	caps := make([]int64, d)
+	for i := range caps {
+		caps[i] = Omega
+	}
+	return Ideal{caps: caps}
+}
+
+// Dim returns the dimension.
+func (id Ideal) Dim() int { return len(id.caps) }
+
+// Cap returns the cap of coordinate i (Omega if unbounded).
+func (id Ideal) Cap(i int) int64 { return id.caps[i] }
+
+// Contains reports whether v belongs to the ideal.
+func (id Ideal) Contains(v multiset.Vec) bool {
+	if v.Dim() != len(id.caps) {
+		return false
+	}
+	for i, c := range id.caps {
+		if c != Omega && v[i] > c {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether other ⊆ id.
+func (id Ideal) Subsumes(other Ideal) bool {
+	for i, c := range id.caps {
+		if c == Omega {
+			continue
+		}
+		if other.caps[i] == Omega || other.caps[i] > c {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the coordinatewise minimum of caps.
+func (id Ideal) Intersect(other Ideal) Ideal {
+	out := make([]int64, len(id.caps))
+	for i := range out {
+		a, b := id.caps[i], other.caps[i]
+		switch {
+		case a == Omega:
+			out[i] = b
+		case b == Omega:
+			out[i] = a
+		case a < b:
+			out[i] = a
+		default:
+			out[i] = b
+		}
+	}
+	return Ideal{caps: out}
+}
+
+// B returns the paper's B component: the vector of finite caps (0 on ω
+// coordinates).
+func (id Ideal) B() multiset.Vec {
+	b := multiset.New(len(id.caps))
+	for i, c := range id.caps {
+		if c != Omega {
+			b[i] = c
+		}
+	}
+	return b
+}
+
+// S returns the paper's S component: the set of ω coordinates.
+func (id Ideal) S() map[int]bool {
+	s := make(map[int]bool)
+	for i, c := range id.caps {
+		if c == Omega {
+			s[i] = true
+		}
+	}
+	return s
+}
+
+// Norm returns ‖(B,S)‖∞ = ‖B‖∞, the norm of the basis element (Section 3).
+func (id Ideal) Norm() int64 {
+	var n int64
+	for _, c := range id.caps {
+		if c != Omega && c > n {
+			n = c
+		}
+	}
+	return n
+}
+
+// String renders the ideal, e.g. "[2, ω, 0]".
+func (id Ideal) String() string {
+	parts := make([]string, len(id.caps))
+	for i, c := range id.caps {
+		if c == Omega {
+			parts[i] = "ω"
+		} else {
+			parts[i] = fmt.Sprintf("%d", c)
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// DownSet is a downward-closed subset of ℕ^d represented as a finite union
+// of ideals, kept irredundant (no ideal subsumes another).
+type DownSet struct {
+	d      int
+	ideals []Ideal
+}
+
+// NewDownSet returns the union of the given ideals.
+func NewDownSet(d int, ideals ...Ideal) *DownSet {
+	ds := &DownSet{d: d}
+	ds.Add(ideals...)
+	return ds
+}
+
+// Dim returns the dimension.
+func (ds *DownSet) Dim() int { return ds.d }
+
+// IsEmpty reports whether the set is empty.
+func (ds *DownSet) IsEmpty() bool { return len(ds.ideals) == 0 }
+
+// Contains reports whether v belongs to the set.
+func (ds *DownSet) Contains(v multiset.Vec) bool {
+	for _, id := range ds.ideals {
+		if id.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add unions ideals into the set, maintaining irredundancy.
+func (ds *DownSet) Add(ideals ...Ideal) {
+	for _, id := range ideals {
+		if id.Dim() != ds.d {
+			panic(fmt.Sprintf("ideal: ideal dimension %d, want %d", id.Dim(), ds.d))
+		}
+		sub := false
+		for _, have := range ds.ideals {
+			if have.Subsumes(id) {
+				sub = true
+				break
+			}
+		}
+		if sub {
+			continue
+		}
+		kept := ds.ideals[:0]
+		for _, have := range ds.ideals {
+			if !id.Subsumes(have) {
+				kept = append(kept, have)
+			}
+		}
+		ds.ideals = append(kept, id)
+	}
+}
+
+// Ideals returns a copy of the ideal decomposition.
+func (ds *DownSet) Ideals() []Ideal {
+	out := make([]Ideal, len(ds.ideals))
+	copy(out, ds.ideals)
+	return out
+}
+
+// Size returns the number of ideals in the decomposition.
+func (ds *DownSet) Size() int { return len(ds.ideals) }
+
+// Norm returns the maximal basis-element norm over the decomposition,
+// the quantity bounded by the small basis constant β in Lemma 3.2.
+func (ds *DownSet) Norm() int64 {
+	var n int64
+	for _, id := range ds.ideals {
+		if k := id.Norm(); k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+// Union returns the union of ds and other.
+func (ds *DownSet) Union(other *DownSet) *DownSet {
+	out := NewDownSet(ds.d, ds.ideals...)
+	out.Add(other.ideals...)
+	return out
+}
+
+// String renders the decomposition.
+func (ds *DownSet) String() string {
+	parts := make([]string, len(ds.ideals))
+	for i, id := range ds.ideals {
+		parts[i] = id.String()
+	}
+	return "↓(" + strings.Join(parts, " ∪ ") + ")"
+}
+
+// ComplementUp computes the downward-closed complement of an upward-closed
+// set: ℕ^d ∖ ↑{m₁,...,m_k} = ∩_j ∪_{i : m_j(i) > 0} {v : v_i ≤ m_j(i) − 1},
+// expanded into an irredundant union of ideals.
+func ComplementUp(u *UpSet) *DownSet {
+	ds := NewDownSet(u.Dim(), FullIdeal(u.Dim()))
+	for _, m := range u.min {
+		next := NewDownSet(u.Dim())
+		for _, id := range ds.ideals {
+			for i := 0; i < u.Dim(); i++ {
+				if m[i] <= 0 {
+					continue
+				}
+				if id.caps[i] != Omega && id.caps[i] <= m[i]-1 {
+					// Already below the required cap: the ideal avoids ↑m.
+					next.Add(id)
+					break
+				}
+				clone := NewIdeal(id.caps)
+				clone.caps[i] = m[i] - 1
+				next.Add(clone)
+			}
+			// A minimal element m = 0 makes ↑m = ℕ^d: complement empty,
+			// nothing survives.
+		}
+		ds = next
+	}
+	return ds
+}
+
+// ComplementDown computes the upward-closed complement of a downward-closed
+// set: the complement of one ideal with finite caps c_i on coordinates i ∈ F
+// is ∪_{i∈F} ↑((c_i+1)·e_i); the complement of the union is the intersection
+// of these upward-closed sets.
+func ComplementDown(ds *DownSet) *UpSet {
+	d := ds.d
+	// Complement of the empty set is everything: ↑{0}.
+	out := NewUpSet(d, multiset.New(d))
+	for _, id := range ds.ideals {
+		var gens []multiset.Vec
+		for i, c := range id.caps {
+			if c == Omega {
+				continue
+			}
+			g := multiset.New(d)
+			g[i] = c + 1
+			gens = append(gens, g)
+		}
+		// An all-ω ideal is ℕ^d: its complement is empty.
+		out = out.Intersect(NewUpSet(d, gens...))
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package ideal implements upward-closed and downward-closed subsets of ℕ^d
+// with finite symbolic representations, the order-theoretic backbone of
+// Section 3 of the paper:
+//
+//   - an upward-closed set is represented by its finite antichain of minimal
+//     elements (well-defined by Dickson's lemma);
+//   - a downward-closed set is represented as a finite union of ideals; an
+//     Ideal fixes for each coordinate either a finite cap c (v_i ≤ c) or ω
+//     (unbounded). An ideal with caps B on the coordinates outside S and ω
+//     exactly on S is the downward closure of the paper's basis element
+//     (B, S); the paper's exact-form base {B' + ℕ^S : B' ≤ B off S} is
+//     recovered by enumerating the finite coordinates, which is how the
+//     (k+2)^n count in Lemma 3.2 arises.
+//
+// Complementation maps between the two representations exactly, giving the
+// duality used to compute stable sets: SC_b is the complement of the
+// upward-closed set of configurations that can cover a ¬b state.
+package ideal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/multiset"
+)
+
+// Omega is the cap value denoting an unbounded (ω) coordinate of an Ideal.
+const Omega = int64(-1)
+
+// UpSet is an upward-closed subset of ℕ^d represented by its minimal
+// elements.
+type UpSet struct {
+	d   int
+	min []multiset.Vec
+}
+
+// NewUpSet returns the upward closure of the given generators (all of
+// dimension d; the empty generator list gives the empty set).
+func NewUpSet(d int, gens ...multiset.Vec) *UpSet {
+	u := &UpSet{d: d}
+	u.Add(gens...)
+	return u
+}
+
+// Dim returns the dimension d.
+func (u *UpSet) Dim() int { return u.d }
+
+// IsEmpty reports whether the set is empty.
+func (u *UpSet) IsEmpty() bool { return len(u.min) == 0 }
+
+// Contains reports whether v belongs to the set.
+func (u *UpSet) Contains(v multiset.Vec) bool {
+	return multiset.DominatesAny(v, u.min)
+}
+
+// Add unions the upward closures of the generators into the set and reports
+// whether the set strictly grew.
+func (u *UpSet) Add(gens ...multiset.Vec) bool {
+	grew := false
+	for _, g := range gens {
+		if g.Dim() != u.d {
+			panic(fmt.Sprintf("ideal: generator dimension %d, want %d", g.Dim(), u.d))
+		}
+		if u.Contains(g) {
+			continue
+		}
+		grew = true
+		kept := u.min[:0]
+		for _, m := range u.min {
+			if !g.Le(m) {
+				kept = append(kept, m)
+			}
+		}
+		u.min = append(kept, g.Clone())
+	}
+	return grew
+}
+
+// MinBasis returns a copy of the antichain of minimal elements.
+func (u *UpSet) MinBasis() []multiset.Vec {
+	out := make([]multiset.Vec, len(u.min))
+	for i, m := range u.min {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// Size returns the number of minimal elements.
+func (u *UpSet) Size() int { return len(u.min) }
+
+// Norm returns the maximal ‖m‖∞ over minimal elements (0 for the empty set).
+func (u *UpSet) Norm() int64 {
+	var n int64
+	for _, m := range u.min {
+		if k := m.NormInf(); k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (u *UpSet) Clone() *UpSet {
+	return NewUpSet(u.d, u.min...)
+}
+
+// Union returns the union of u and v.
+func (u *UpSet) Union(v *UpSet) *UpSet {
+	out := u.Clone()
+	out.Add(v.min...)
+	return out
+}
+
+// Intersect returns the intersection of u and v: its minimal elements are
+// the minimized pairwise componentwise maxima of the two bases.
+func (u *UpSet) Intersect(v *UpSet) *UpSet {
+	if u.d != v.d {
+		panic(fmt.Sprintf("ideal: dimension mismatch %d vs %d", u.d, v.d))
+	}
+	var gens []multiset.Vec
+	for _, a := range u.min {
+		for _, b := range v.min {
+			gens = append(gens, a.Max(b))
+		}
+	}
+	return NewUpSet(u.d, multiset.Minimal(gens)...)
+}
+
+// Equal reports whether u and v denote the same set (antichain equality).
+func (u *UpSet) Equal(v *UpSet) bool {
+	if u.d != v.d || len(u.min) != len(v.min) {
+		return false
+	}
+	for _, m := range u.min {
+		if !v.Contains(m) {
+			return false
+		}
+	}
+	for _, m := range v.min {
+		if !u.Contains(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the minimal basis.
+func (u *UpSet) String() string {
+	parts := make([]string, len(u.min))
+	for i, m := range u.min {
+		parts[i] = m.String()
+	}
+	return "↑{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,131 @@
+package multiset
+
+// This file implements the order-theoretic utilities around Dickson's lemma
+// (Lemma 4.3 of the paper): every infinite sequence of vectors of the same
+// dimension contains an infinite ≤-ordered subsequence. Finite sequences
+// without a dominating pair are called bad (antichains under ≤ extended with
+// repetition); sequences containing i < j with v_i ≤ v_j are good.
+
+// FirstGoodPair scans seq and returns the first pair of indices i < j with
+// seq[i] ≤ seq[j] (the witness that seq is a good sequence). It returns
+// ok = false if seq is a bad sequence, i.e. no such pair exists.
+func FirstGoodPair(seq []Vec) (i, j int, ok bool) {
+	for jj := 1; jj < len(seq); jj++ {
+		for ii := 0; ii < jj; ii++ {
+			if seq[ii].Le(seq[jj]) {
+				return ii, jj, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// IsBad reports whether seq is a bad sequence: no i < j has seq[i] ≤ seq[j].
+func IsBad(seq []Vec) bool {
+	_, _, ok := FirstGoodPair(seq)
+	return !ok
+}
+
+// LongestOrderedSubsequence returns the indices of a maximum-length
+// subsequence i₀ < i₁ < ... with seq[i₀] ≤ seq[i₁] ≤ ... (the ordered
+// subsequence whose existence Dickson's lemma guarantees for infinite
+// sequences). Runs the classic O(n²) longest-increasing-subsequence dynamic
+// program with ≤ as the order.
+func LongestOrderedSubsequence(seq []Vec) []int {
+	if len(seq) == 0 {
+		return nil
+	}
+	best := make([]int, len(seq)) // best[i]: length of longest chain ending at i
+	prev := make([]int, len(seq))
+	for i := range seq {
+		best[i], prev[i] = 1, -1
+		for j := 0; j < i; j++ {
+			if seq[j].Le(seq[i]) && best[j]+1 > best[i] {
+				best[i] = best[j] + 1
+				prev[i] = j
+			}
+		}
+	}
+	end := 0
+	for i := range best {
+		if best[i] > best[end] {
+			end = i
+		}
+	}
+	chain := make([]int, 0, best[end])
+	for i := end; i >= 0; i = prev[i] {
+		chain = append(chain, i)
+		if prev[i] < 0 {
+			break
+		}
+	}
+	// Reverse into ascending index order.
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	return chain
+}
+
+// Minimal returns the ≤-minimal elements of vs, with duplicates collapsed.
+// The result is a fresh slice; the Vecs themselves are shared with the input.
+// Minimal bases of upward-closed sets (Section 3) are maintained with this.
+func Minimal(vs []Vec) []Vec {
+	var out []Vec
+	for _, v := range vs {
+		dominated := false
+		for _, m := range out {
+			if m.Le(v) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// Remove elements of out strictly dominating v.
+		kept := out[:0]
+		for _, m := range out {
+			if !v.Le(m) {
+				kept = append(kept, m)
+			}
+		}
+		out = append(kept, v)
+	}
+	return out
+}
+
+// DominatesAny reports whether some element of basis is ≤ v, i.e. whether v
+// belongs to the upward closure of basis.
+func DominatesAny(v Vec, basis []Vec) bool {
+	for _, m := range basis {
+		if m.Le(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Maximal returns the ≤-maximal elements of vs, with duplicates collapsed.
+func Maximal(vs []Vec) []Vec {
+	var out []Vec
+	for _, v := range vs {
+		dominated := false
+		for _, m := range out {
+			if v.Le(m) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		kept := out[:0]
+		for _, m := range out {
+			if !m.Le(v) {
+				kept = append(kept, m)
+			}
+		}
+		out = append(kept, v)
+	}
+	return out
+}

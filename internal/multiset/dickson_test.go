@@ -1,0 +1,173 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFirstGoodPair(t *testing.T) {
+	tests := []struct {
+		name string
+		seq  []Vec
+		i, j int
+		ok   bool
+	}{
+		{"empty", nil, 0, 0, false},
+		{"single", []Vec{{1, 1}}, 0, 0, false},
+		{"ordered", []Vec{{1, 0}, {1, 1}}, 0, 1, true},
+		{"equal is good", []Vec{{2, 2}, {2, 2}}, 0, 1, true},
+		{"antichain", []Vec{{0, 2}, {1, 1}, {2, 0}}, 0, 0, false},
+		{"late pair", []Vec{{0, 3}, {3, 0}, {1, 2}, {2, 3}}, 0, 3, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			i, j, ok := FirstGoodPair(tc.seq)
+			if ok != tc.ok || (ok && (i != tc.i || j != tc.j)) {
+				t.Fatalf("FirstGoodPair = (%d,%d,%t), want (%d,%d,%t)", i, j, ok, tc.i, tc.j, tc.ok)
+			}
+			if IsBad(tc.seq) != !tc.ok {
+				t.Fatalf("IsBad inconsistent with FirstGoodPair")
+			}
+		})
+	}
+}
+
+func TestLongestOrderedSubsequence(t *testing.T) {
+	seq := []Vec{{0, 3}, {1, 1}, {3, 0}, {1, 2}, {2, 2}, {0, 1}}
+	idx := LongestOrderedSubsequence(seq)
+	// Chain {1,1} ≤ {1,2} ≤ {2,2} has length 3 and is maximal.
+	if len(idx) != 3 {
+		t.Fatalf("chain length = %d (%v), want 3", len(idx), idx)
+	}
+	for k := 1; k < len(idx); k++ {
+		if idx[k-1] >= idx[k] {
+			t.Fatalf("indices not increasing: %v", idx)
+		}
+		if !seq[idx[k-1]].Le(seq[idx[k]]) {
+			t.Fatalf("not a chain at %d: %v", k, idx)
+		}
+	}
+	if LongestOrderedSubsequence(nil) != nil {
+		t.Fatalf("empty sequence should give nil")
+	}
+	if got := LongestOrderedSubsequence([]Vec{{5}}); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("singleton = %v", got)
+	}
+}
+
+func TestMinimalMaximal(t *testing.T) {
+	vs := []Vec{{2, 2}, {1, 3}, {3, 1}, {2, 2}, {1, 1}, {4, 4}}
+	min := Minimal(vs)
+	if len(min) != 1 || !min[0].Equal(Vec{1, 1}) {
+		t.Fatalf("Minimal = %v, want [{1,1}]", min)
+	}
+	max := Maximal(vs)
+	if len(max) != 1 || !max[0].Equal(Vec{4, 4}) {
+		t.Fatalf("Maximal = %v, want [{4,4}]", max)
+	}
+
+	anti := []Vec{{0, 2}, {1, 1}, {2, 0}}
+	if got := Minimal(anti); len(got) != 3 {
+		t.Fatalf("Minimal of antichain = %v, want all 3", got)
+	}
+	if got := Maximal(anti); len(got) != 3 {
+		t.Fatalf("Maximal of antichain = %v, want all 3", got)
+	}
+	// Duplicates collapse.
+	if got := Minimal([]Vec{{1, 1}, {1, 1}}); len(got) != 1 {
+		t.Fatalf("duplicates should collapse: %v", got)
+	}
+	if got := Minimal(nil); got != nil {
+		t.Fatalf("Minimal(nil) = %v", got)
+	}
+}
+
+func TestDominatesAny(t *testing.T) {
+	basis := []Vec{{2, 0}, {0, 3}}
+	tests := []struct {
+		v    Vec
+		want bool
+	}{
+		{Vec{2, 0}, true},
+		{Vec{5, 1}, true},
+		{Vec{1, 3}, true},
+		{Vec{1, 2}, false},
+		{Vec{0, 0}, false},
+	}
+	for _, tc := range tests {
+		if got := DominatesAny(tc.v, basis); got != tc.want {
+			t.Errorf("DominatesAny(%v) = %t, want %t", tc.v, got, tc.want)
+		}
+	}
+	if DominatesAny(Vec{1}, nil) {
+		t.Errorf("empty basis dominates nothing")
+	}
+}
+
+// Property: Minimal returns an antichain that generates the same upward
+// closure as the input.
+func TestQuickMinimalAntichainAndClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(4)
+		n := rr.Intn(12)
+		vs := make([]Vec, n)
+		for i := range vs {
+			vs[i] = randVec(rr, d, 0, 6)
+		}
+		min := Minimal(vs)
+		// Antichain: no element ≤ another distinct element.
+		for i := range min {
+			for j := range min {
+				if i != j && min[i].Le(min[j]) {
+					return false
+				}
+			}
+		}
+		// Same upward closure: every input is dominated by some minimal
+		// element, and every minimal element is an input.
+		for _, v := range vs {
+			if !DominatesAny(v, min) {
+				return false
+			}
+		}
+		for _, m := range min {
+			found := false
+			for _, v := range vs {
+				if v.Equal(m) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Dickson's lemma, finite form): sufficiently long sequences of
+// small vectors must be good.
+func TestQuickLongBoundedSequencesAreGood(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(3)
+		// With coordinates in {0,1}, any sequence longer than the number of
+		// distinct antichain arrangements must contain a good pair; 2^d + 1
+		// pigeonholes a repeat, and repeats are good pairs.
+		n := 1<<d + 1
+		seq := make([]Vec, n)
+		for i := range seq {
+			seq[i] = randVec(rr, d, 0, 1)
+		}
+		return !IsBad(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

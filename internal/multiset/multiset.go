@@ -1,0 +1,365 @@
+// Package multiset implements multisets over ℕ^d and integer vectors over ℤ^d
+// as used throughout the paper (Section 2.1): configurations of population
+// protocols are multisets of states, transition displacements are integer
+// vectors, and the componentwise order ≤ (with its strict variant ≨) is the
+// well-quasi-order underlying Dickson's lemma.
+//
+// Values are stored densely as []int64 indexed by coordinate. The zero-length
+// vector is a valid empty multiset. Operations that return a new vector never
+// alias their inputs; operations suffixed InPlace mutate the receiver.
+package multiset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Vec is a dense integer vector of fixed dimension. A Vec with all
+// coordinates ≥ 0 represents a multiset (an element of ℕ^d); general Vecs
+// represent elements of ℤ^d such as transition displacements.
+type Vec []int64
+
+// New returns the zero vector of dimension d.
+func New(d int) Vec {
+	return make(Vec, d)
+}
+
+// FromCounts copies counts into a fresh Vec.
+func FromCounts(counts []int64) Vec {
+	v := make(Vec, len(counts))
+	copy(v, counts)
+	return v
+}
+
+// Unit returns the vector of dimension d with a single 1 at coordinate i,
+// i.e. the one-element multiset {i}.
+func Unit(d, i int) Vec {
+	v := make(Vec, d)
+	v[i] = 1
+	return v
+}
+
+// Pair returns the multiset {i, j} of dimension d (i and j may be equal).
+func Pair(d, i, j int) Vec {
+	v := make(Vec, d)
+	v[i]++
+	v[j]++
+	return v
+}
+
+// Dim returns the dimension of v.
+func (v Vec) Dim() int { return len(v) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Size returns Σᵢ v(i), written |v| in the paper. For multisets this is the
+// total number of elements (agents).
+func (v Vec) Size() int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Norm1 returns ‖v‖₁ = Σᵢ |v(i)|.
+func (v Vec) Norm1() int64 {
+	var s int64
+	for _, x := range v {
+		if x < 0 {
+			s -= x
+		} else {
+			s += x
+		}
+	}
+	return s
+}
+
+// NormInf returns ‖v‖∞ = maxᵢ |v(i)|. The norm of the empty vector is 0.
+func (v Vec) NormInf() int64 {
+	var m int64
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// IsZero reports whether every coordinate is 0.
+func (v Vec) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNatural reports whether v ∈ ℕ^d, i.e. every coordinate is ≥ 0.
+func (v Vec) IsNatural() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Support returns the set ⟦v⟧ = {i : v(i) ≠ 0} as a sorted slice of
+// coordinates.
+func (v Vec) Support() []int {
+	var s []int
+	for i, x := range v {
+		if x != 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// SupportSize returns |⟦v⟧|, the number of non-zero coordinates.
+func (v Vec) SupportSize() int {
+	n := 0
+	for _, x := range v {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether u and v are identical vectors of the same dimension.
+func (v Vec) Equal(u Vec) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i, x := range v {
+		if x != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Le reports whether v ≤ u componentwise. Vectors of different dimensions are
+// incomparable.
+func (v Vec) Le(u Vec) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i, x := range v {
+		if x > u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lt reports whether v ≨ u, i.e. v ≤ u and v ≠ u.
+func (v Vec) Lt(u Vec) bool {
+	return v.Le(u) && !v.Equal(u)
+}
+
+// Add returns v + u in a fresh vector. Panics if dimensions differ.
+func (v Vec) Add(u Vec) Vec {
+	w := v.Clone()
+	w.AddInPlace(u)
+	return w
+}
+
+// AddInPlace sets v ← v + u. Panics if dimensions differ.
+func (v Vec) AddInPlace(u Vec) {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("multiset: dimension mismatch %d != %d", len(v), len(u)))
+	}
+	for i, x := range u {
+		v[i] += x
+	}
+}
+
+// Sub returns v − u in a fresh vector. Panics if dimensions differ.
+func (v Vec) Sub(u Vec) Vec {
+	w := v.Clone()
+	w.SubInPlace(u)
+	return w
+}
+
+// SubInPlace sets v ← v − u. Panics if dimensions differ.
+func (v Vec) SubInPlace(u Vec) {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("multiset: dimension mismatch %d != %d", len(v), len(u)))
+	}
+	for i, x := range u {
+		v[i] -= x
+	}
+}
+
+// Scale returns λ·v in a fresh vector.
+func (v Vec) Scale(lambda int64) Vec {
+	w := make(Vec, len(v))
+	for i, x := range v {
+		w[i] = lambda * x
+	}
+	return w
+}
+
+// AddScaled returns v + λ·u in a fresh vector. Panics if dimensions differ.
+func (v Vec) AddScaled(lambda int64, u Vec) Vec {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("multiset: dimension mismatch %d != %d", len(v), len(u)))
+	}
+	w := v.Clone()
+	for i, x := range u {
+		w[i] += lambda * x
+	}
+	return w
+}
+
+// Max returns the componentwise maximum of v and u. Panics if dimensions
+// differ.
+func (v Vec) Max(u Vec) Vec {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("multiset: dimension mismatch %d != %d", len(v), len(u)))
+	}
+	w := v.Clone()
+	for i, x := range u {
+		if x > w[i] {
+			w[i] = x
+		}
+	}
+	return w
+}
+
+// Min returns the componentwise minimum of v and u. Panics if dimensions
+// differ.
+func (v Vec) Min(u Vec) Vec {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("multiset: dimension mismatch %d != %d", len(v), len(u)))
+	}
+	w := v.Clone()
+	for i, x := range u {
+		if x < w[i] {
+			w[i] = x
+		}
+	}
+	return w
+}
+
+// Clip returns the componentwise maximum of v and 0, i.e. v with negative
+// coordinates replaced by 0.
+func (v Vec) Clip() Vec {
+	w := v.Clone()
+	for i, x := range w {
+		if x < 0 {
+			w[i] = 0
+		}
+	}
+	return w
+}
+
+// SumOver returns Σ_{i∈coords} v(i), written v(B') in the paper.
+func (v Vec) SumOver(coords []int) int64 {
+	var s int64
+	for _, i := range coords {
+		s += v[i]
+	}
+	return s
+}
+
+// RestrictedTo returns the vector that agrees with v on coords and is 0
+// elsewhere.
+func (v Vec) RestrictedTo(coords map[int]bool) Vec {
+	w := make(Vec, len(v))
+	for i := range v {
+		if coords[i] {
+			w[i] = v[i]
+		}
+	}
+	return w
+}
+
+// SupportedBy reports whether ⟦v⟧ ⊆ coords, i.e. v is 0 outside coords. For a
+// stable-set ideal (B, S) this is the "0-concentrated in S" condition of
+// Section 5.4 when applied to a configuration.
+func (v Vec) SupportedBy(coords map[int]bool) bool {
+	for i, x := range v {
+		if x != 0 && !coords[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact encoding of v usable as a map key. Two vectors have
+// equal keys iff they are Equal.
+func (v Vec) Key() string {
+	buf := make([]byte, 0, len(v)*2+binary.MaxVarintLen64)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, x := range v {
+		n := binary.PutVarint(tmp[:], x)
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// ParseKey decodes a key produced by Key for a vector of dimension d.
+func ParseKey(key string, d int) (Vec, error) {
+	v := make(Vec, 0, d)
+	b := []byte(key)
+	for len(b) > 0 {
+		x, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("multiset: corrupt key")
+		}
+		v = append(v, x)
+		b = b[n:]
+	}
+	if len(v) != d {
+		return nil, fmt.Errorf("multiset: key has dimension %d, want %d", len(v), d)
+	}
+	return v, nil
+}
+
+// String renders v in the paper's set-like notation, e.g. "⟅a:2, c:1⟆" for
+// indices printed as numbers. Use Format for named coordinates.
+func (v Vec) String() string {
+	return v.Format(nil)
+}
+
+// Format renders v using names[i] for coordinate i; nil names fall back to
+// numeric indices. Zero coordinates are omitted; the empty multiset renders
+// as "⟅⟆".
+func (v Vec) Format(names []string) string {
+	var b strings.Builder
+	b.WriteString("⟅")
+	first := true
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		if names != nil && i < len(names) {
+			b.WriteString(names[i])
+		} else {
+			fmt.Fprintf(&b, "q%d", i)
+		}
+		if x != 1 {
+			fmt.Fprintf(&b, ":%d", x)
+		}
+	}
+	b.WriteString("⟆")
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndUnit(t *testing.T) {
+	v := New(4)
+	if v.Dim() != 4 || !v.IsZero() {
+		t.Fatalf("New(4) = %v, want zero vector of dim 4", v)
+	}
+	u := Unit(4, 2)
+	if u.Size() != 1 || u[2] != 1 {
+		t.Fatalf("Unit(4,2) = %v", u)
+	}
+	p := Pair(3, 1, 1)
+	if p[1] != 2 || p.Size() != 2 {
+		t.Fatalf("Pair(3,1,1) = %v", p)
+	}
+	q := Pair(3, 0, 2)
+	if q[0] != 1 || q[2] != 1 || q.Size() != 2 {
+		t.Fatalf("Pair(3,0,2) = %v", q)
+	}
+}
+
+func TestSizeNorms(t *testing.T) {
+	tests := []struct {
+		v                    Vec
+		size, norm1, normInf int64
+	}{
+		{Vec{}, 0, 0, 0},
+		{Vec{0, 0}, 0, 0, 0},
+		{Vec{1, 2, 3}, 6, 6, 3},
+		{Vec{-1, 2, -3}, -2, 6, 3},
+		{Vec{5}, 5, 5, 5},
+		{Vec{-7, 0}, -7, 7, 7},
+	}
+	for _, tc := range tests {
+		if got := tc.v.Size(); got != tc.size {
+			t.Errorf("Size(%v) = %d, want %d", tc.v, got, tc.size)
+		}
+		if got := tc.v.Norm1(); got != tc.norm1 {
+			t.Errorf("Norm1(%v) = %d, want %d", tc.v, got, tc.norm1)
+		}
+		if got := tc.v.NormInf(); got != tc.normInf {
+			t.Errorf("NormInf(%v) = %d, want %d", tc.v, got, tc.normInf)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	v := Vec{0, 3, 0, -2, 1}
+	got := v.Support()
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Support = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Support = %v, want %v", got, want)
+		}
+	}
+	if v.SupportSize() != 3 {
+		t.Fatalf("SupportSize = %d, want 3", v.SupportSize())
+	}
+	if New(3).Support() != nil {
+		t.Fatalf("Support of zero vector should be nil")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	tests := []struct {
+		u, v   Vec
+		le, lt bool
+	}{
+		{Vec{1, 2}, Vec{1, 2}, true, false},
+		{Vec{1, 2}, Vec{2, 2}, true, true},
+		{Vec{1, 2}, Vec{1, 3}, true, true},
+		{Vec{2, 1}, Vec{1, 2}, false, false},
+		{Vec{1, 2}, Vec{2, 1}, false, false},
+		{Vec{0, 0}, Vec{0, 0}, true, false},
+		{Vec{1}, Vec{1, 0}, false, false}, // different dimensions: incomparable
+	}
+	for _, tc := range tests {
+		if got := tc.u.Le(tc.v); got != tc.le {
+			t.Errorf("%v.Le(%v) = %t, want %t", tc.u, tc.v, got, tc.le)
+		}
+		if got := tc.u.Lt(tc.v); got != tc.lt {
+			t.Errorf("%v.Lt(%v) = %t, want %t", tc.u, tc.v, got, tc.lt)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	u := Vec{1, 2, 3}
+	v := Vec{4, 0, -1}
+	sum := u.Add(v)
+	if !sum.Equal(Vec{5, 2, 2}) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := u.Sub(v)
+	if !diff.Equal(Vec{-3, 2, 4}) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	// Inputs must be unchanged (no aliasing).
+	if !u.Equal(Vec{1, 2, 3}) || !v.Equal(Vec{4, 0, -1}) {
+		t.Fatalf("inputs mutated: u=%v v=%v", u, v)
+	}
+	if got := u.Scale(3); !got.Equal(Vec{3, 6, 9}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := u.AddScaled(2, v); !got.Equal(Vec{9, 2, 1}) {
+		t.Fatalf("AddScaled = %v", got)
+	}
+	if got := u.Max(v); !got.Equal(Vec{4, 2, 3}) {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := u.Min(v); !got.Equal(Vec{1, 0, -1}) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := v.Clip(); !got.Equal(Vec{4, 0, 0}) {
+		t.Fatalf("Clip = %v", got)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Add with mismatched dimensions should panic")
+		}
+	}()
+	Vec{1}.Add(Vec{1, 2})
+}
+
+func TestSumOverRestrict(t *testing.T) {
+	v := Vec{5, 1, 2, 7}
+	if got := v.SumOver([]int{0, 3}); got != 12 {
+		t.Fatalf("SumOver = %d, want 12", got)
+	}
+	s := map[int]bool{1: true, 2: true}
+	r := v.RestrictedTo(s)
+	if !r.Equal(Vec{0, 1, 2, 0}) {
+		t.Fatalf("RestrictedTo = %v", r)
+	}
+	if v.SupportedBy(s) {
+		t.Fatalf("SupportedBy should be false: support includes 0 and 3")
+	}
+	if !r.SupportedBy(s) {
+		t.Fatalf("restriction must be supported by s")
+	}
+	if !New(4).SupportedBy(map[int]bool{}) {
+		t.Fatalf("zero vector is supported by the empty set")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	vs := []Vec{{}, {0}, {1, 2, 3}, {-5, 0, 7}, {1 << 40, -(1 << 40)}}
+	for _, v := range vs {
+		got, err := ParseKey(v.Key(), v.Dim())
+		if err != nil {
+			t.Fatalf("ParseKey(%v): %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+	if _, err := ParseKey(Vec{1, 2}.Key(), 3); err == nil {
+		t.Fatalf("ParseKey with wrong dimension should error")
+	}
+	if _, err := ParseKey("\xff", 1); err == nil {
+		t.Fatalf("ParseKey with corrupt bytes should error")
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Keys of distinct vectors of the same dimension must differ.
+	seen := map[string]Vec{}
+	for a := int64(-3); a <= 3; a++ {
+		for b := int64(-3); b <= 3; b++ {
+			v := Vec{a, b}
+			k := v.Key()
+			if prev, ok := seen[k]; ok && !prev.Equal(v) {
+				t.Fatalf("key collision: %v and %v", prev, v)
+			}
+			seen[k] = v
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	v := Vec{1, 0, 2}
+	if got := v.Format([]string{"a", "b", "c"}); got != "⟅a, c:2⟆" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := New(2).String(); got != "⟅⟆" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := (Vec{0, 3}).String(); got != "⟅q1:3⟆" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func randVec(r *rand.Rand, d int, lo, hi int64) Vec {
+	v := make(Vec, d)
+	for i := range v {
+		v[i] = lo + r.Int63n(hi-lo+1)
+	}
+	return v
+}
+
+func TestQuickArithmeticLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{MaxCount: 300}
+	// Commutativity and associativity of Add; Sub inverts Add; Le is preserved
+	// under adding a common vector (monotonicity, the property the paper uses
+	// pervasively).
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(6)
+		u, v, w := randVec(rr, d, -20, 20), randVec(rr, d, -20, 20), randVec(rr, d, -20, 20)
+		if !u.Add(v).Equal(v.Add(u)) {
+			return false
+		}
+		if !u.Add(v).Add(w).Equal(u.Add(v.Add(w))) {
+			return false
+		}
+		if !u.Add(v).Sub(v).Equal(u) {
+			return false
+		}
+		if u.Le(v) != u.Add(w).Le(v.Add(w)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+func TestQuickNormsAndOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(6)
+		u, v := randVec(rr, d, 0, 15), randVec(rr, d, 0, 15)
+		// Triangle inequality for ‖·‖₁ and ‖·‖∞.
+		if u.Add(v).Norm1() > u.Norm1()+v.Norm1() {
+			return false
+		}
+		if u.Add(v).NormInf() > u.NormInf()+v.NormInf() {
+			return false
+		}
+		// For natural vectors, Size = Norm1 and Le implies Size ordering.
+		if u.Size() != u.Norm1() {
+			return false
+		}
+		if u.Le(v) && u.Size() > v.Size() {
+			return false
+		}
+		// Max dominates both; Min is dominated by both.
+		m, n := u.Max(v), u.Min(v)
+		return u.Le(m) && v.Le(m) && n.Le(u) && n.Le(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(8)
+		v := randVec(rr, d, -1000, 1000)
+		got, err := ParseKey(v.Key(), d)
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package pred implements the predicates that population protocols compute:
+// by Angluin et al. [8] these are exactly the Presburger-definable predicates
+// ϕ: ℕ^X → {0,1}, every one of which is a boolean combination of threshold
+// constraints Σ aᵢxᵢ ≥ c and modulo constraints Σ aᵢxᵢ ≡ r (mod m).
+//
+// The paper's central family is the counting predicate x ≥ η (Threshold with
+// one variable); the verification and search packages evaluate predicates on
+// concrete inputs to check protocols against their specifications.
+package pred
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/multiset"
+)
+
+// Pred is a predicate over input multisets of a fixed arity |X|.
+type Pred interface {
+	// Eval evaluates the predicate on input m, which must have dimension
+	// Arity.
+	Eval(m multiset.Vec) bool
+	// Arity returns the number of input variables |X|.
+	Arity() int
+	// String renders the predicate in mathematical notation.
+	String() string
+}
+
+// Threshold is the linear constraint Σ aᵢ·xᵢ ≥ Bound.
+type Threshold struct {
+	Coeffs []int64
+	Bound  int64
+}
+
+var _ Pred = Threshold{}
+
+// NewCounting returns the paper's counting predicate x ≥ η over one variable.
+func NewCounting(eta int64) Threshold {
+	return Threshold{Coeffs: []int64{1}, Bound: eta}
+}
+
+// NewMajority returns the two-variable predicate x_A > x_B, i.e.
+// x_A − x_B ≥ 1.
+func NewMajority() Threshold {
+	return Threshold{Coeffs: []int64{1, -1}, Bound: 1}
+}
+
+// Eval implements Pred.
+func (t Threshold) Eval(m multiset.Vec) bool {
+	var s int64
+	for i, a := range t.Coeffs {
+		s += a * m[i]
+	}
+	return s >= t.Bound
+}
+
+// Arity implements Pred.
+func (t Threshold) Arity() int { return len(t.Coeffs) }
+
+// String implements Pred.
+func (t Threshold) String() string {
+	return fmt.Sprintf("%s ≥ %d", formatLinear(t.Coeffs), t.Bound)
+}
+
+// Modulo is the constraint Σ aᵢ·xᵢ ≡ Residue (mod Mod). Mod must be ≥ 1 and
+// Residue is taken modulo Mod.
+type Modulo struct {
+	Coeffs  []int64
+	Mod     int64
+	Residue int64
+}
+
+var _ Pred = Modulo{}
+
+// NewModCounting returns the one-variable predicate x ≡ r (mod m).
+func NewModCounting(m, r int64) Modulo {
+	return Modulo{Coeffs: []int64{1}, Mod: m, Residue: r}
+}
+
+// Eval implements Pred.
+func (md Modulo) Eval(m multiset.Vec) bool {
+	var s int64
+	for i, a := range md.Coeffs {
+		s += a * m[i]
+	}
+	r := s % md.Mod
+	if r < 0 {
+		r += md.Mod
+	}
+	want := md.Residue % md.Mod
+	if want < 0 {
+		want += md.Mod
+	}
+	return r == want
+}
+
+// Arity implements Pred.
+func (md Modulo) Arity() int { return len(md.Coeffs) }
+
+// String implements Pred.
+func (md Modulo) String() string {
+	return fmt.Sprintf("%s ≡ %d (mod %d)", formatLinear(md.Coeffs), md.Residue, md.Mod)
+}
+
+// Not is the negation of a predicate.
+type Not struct{ P Pred }
+
+var _ Pred = Not{}
+
+// Eval implements Pred.
+func (n Not) Eval(m multiset.Vec) bool { return !n.P.Eval(m) }
+
+// Arity implements Pred.
+func (n Not) Arity() int { return n.P.Arity() }
+
+// String implements Pred.
+func (n Not) String() string { return "¬(" + n.P.String() + ")" }
+
+// And is the conjunction of predicates of equal arity.
+type And []Pred
+
+var _ Pred = And{}
+
+// Eval implements Pred.
+func (a And) Eval(m multiset.Vec) bool {
+	for _, p := range a {
+		if !p.Eval(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Arity implements Pred.
+func (a And) Arity() int {
+	if len(a) == 0 {
+		return 0
+	}
+	return a[0].Arity()
+}
+
+// String implements Pred.
+func (a And) String() string { return joinPreds([]Pred(a), " ∧ ") }
+
+// Or is the disjunction of predicates of equal arity.
+type Or []Pred
+
+var _ Pred = Or{}
+
+// Eval implements Pred.
+func (o Or) Eval(m multiset.Vec) bool {
+	for _, p := range o {
+		if p.Eval(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Arity implements Pred.
+func (o Or) Arity() int {
+	if len(o) == 0 {
+		return 0
+	}
+	return o[0].Arity()
+}
+
+// String implements Pred.
+func (o Or) String() string { return joinPreds([]Pred(o), " ∨ ") }
+
+// Const is a constant predicate of the given arity.
+type Const struct {
+	Value bool
+	Vars  int
+}
+
+var _ Pred = Const{}
+
+// Eval implements Pred.
+func (c Const) Eval(multiset.Vec) bool { return c.Value }
+
+// Arity implements Pred.
+func (c Const) Arity() int { return c.Vars }
+
+// String implements Pred.
+func (c Const) String() string {
+	if c.Value {
+		return "true"
+	}
+	return "false"
+}
+
+func formatLinear(coeffs []int64) string {
+	var b strings.Builder
+	first := true
+	for i, a := range coeffs {
+		if a == 0 {
+			continue
+		}
+		switch {
+		case first && a == 1:
+		case first && a == -1:
+			b.WriteString("-")
+		case first:
+			fmt.Fprintf(&b, "%d·", a)
+		case a == 1:
+			b.WriteString(" + ")
+		case a == -1:
+			b.WriteString(" - ")
+		case a > 0:
+			fmt.Fprintf(&b, " + %d·", a)
+		default:
+			fmt.Fprintf(&b, " - %d·", -a)
+		}
+		first = false
+		fmt.Fprintf(&b, "x%d", i)
+	}
+	if first {
+		return "0"
+	}
+	return b.String()
+}
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,179 @@
+package pred
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/multiset"
+)
+
+func TestCounting(t *testing.T) {
+	p := NewCounting(5)
+	tests := []struct {
+		x    int64
+		want bool
+	}{
+		{0, false}, {4, false}, {5, true}, {6, true}, {100, true},
+	}
+	for _, tc := range tests {
+		if got := p.Eval(multiset.Vec{tc.x}); got != tc.want {
+			t.Errorf("x≥5 on %d = %t, want %t", tc.x, got, tc.want)
+		}
+	}
+	if p.Arity() != 1 {
+		t.Errorf("Arity = %d", p.Arity())
+	}
+	if got := p.String(); got != "x0 ≥ 5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	p := NewMajority()
+	tests := []struct {
+		a, b int64
+		want bool
+	}{
+		{3, 2, true}, {2, 3, false}, {2, 2, false}, {0, 0, false}, {1, 0, true},
+	}
+	for _, tc := range tests {
+		if got := p.Eval(multiset.Vec{tc.a, tc.b}); got != tc.want {
+			t.Errorf("majority(%d,%d) = %t, want %t", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if !strings.Contains(p.String(), "x0 - x1") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestModulo(t *testing.T) {
+	p := NewModCounting(3, 1)
+	for x := int64(0); x < 12; x++ {
+		want := x%3 == 1
+		if got := p.Eval(multiset.Vec{x}); got != want {
+			t.Errorf("x≡1 mod 3 on %d = %t, want %t", x, got, want)
+		}
+	}
+	// Negative coefficients and residues normalize correctly.
+	q := Modulo{Coeffs: []int64{-1}, Mod: 3, Residue: -2}
+	// -x ≡ -2 ≡ 1 (mod 3) iff x ≡ 2 (mod 3).
+	for x := int64(0); x < 9; x++ {
+		want := x%3 == 2
+		if got := q.Eval(multiset.Vec{x}); got != want {
+			t.Errorf("-x≡-2 mod 3 on %d = %t, want %t", x, got, want)
+		}
+	}
+	if got := p.String(); got != "x0 ≡ 1 (mod 3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	ge3 := NewCounting(3)
+	mod2 := NewModCounting(2, 0)
+	and := And{ge3, mod2}
+	or := Or{ge3, mod2}
+	not := Not{ge3}
+	tests := []struct {
+		x                        int64
+		wantAnd, wantOr, wantNot bool
+	}{
+		{0, false, true, true},
+		{1, false, false, true},
+		{2, false, true, true},
+		{3, false, true, false},
+		{4, true, true, false},
+		{6, true, true, false},
+	}
+	for _, tc := range tests {
+		in := multiset.Vec{tc.x}
+		if got := and.Eval(in); got != tc.wantAnd {
+			t.Errorf("And(%d) = %t, want %t", tc.x, got, tc.wantAnd)
+		}
+		if got := or.Eval(in); got != tc.wantOr {
+			t.Errorf("Or(%d) = %t, want %t", tc.x, got, tc.wantOr)
+		}
+		if got := not.Eval(in); got != tc.wantNot {
+			t.Errorf("Not(%d) = %t, want %t", tc.x, got, tc.wantNot)
+		}
+	}
+	if and.Arity() != 1 || or.Arity() != 1 || not.Arity() != 1 {
+		t.Error("combinators must preserve arity")
+	}
+	if And(nil).Arity() != 0 || Or(nil).Arity() != 0 {
+		t.Error("empty combinators have arity 0")
+	}
+	if !And(nil).Eval(multiset.Vec{}) {
+		t.Error("empty conjunction is true")
+	}
+	if Or(nil).Eval(multiset.Vec{}) {
+		t.Error("empty disjunction is false")
+	}
+}
+
+func TestConst(t *testing.T) {
+	if !(Const{Value: true, Vars: 2}).Eval(multiset.Vec{7, 8}) {
+		t.Error("Const true")
+	}
+	if (Const{Value: false, Vars: 1}).Eval(multiset.Vec{7}) {
+		t.Error("Const false")
+	}
+	if got := (Const{Value: true}).String(); got != "true" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		p    Pred
+		want string
+	}{
+		{Threshold{Coeffs: []int64{2, -3}, Bound: 4}, "2·x0 - 3·x1 ≥ 4"},
+		{Threshold{Coeffs: []int64{0, 0}, Bound: 1}, "0 ≥ 1"},
+		{Threshold{Coeffs: []int64{-1}, Bound: 0}, "-x0 ≥ 0"},
+		{Threshold{Coeffs: []int64{1, 1}, Bound: 2}, "x0 + x1 ≥ 2"},
+		{Not{NewCounting(1)}, "¬(x0 ≥ 1)"},
+		{And{NewCounting(1), NewCounting(2)}, "(x0 ≥ 1) ∧ (x0 ≥ 2)"},
+		{Or{NewCounting(1), NewCounting(2)}, "(x0 ≥ 1) ∨ (x0 ≥ 2)"},
+	}
+	for _, tc := range tests {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// Property: De Morgan laws and double negation on random inputs.
+func TestQuickBooleanLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		p := NewCounting(int64(rr.Intn(10)))
+		q := NewModCounting(int64(1+rr.Intn(5)), int64(rr.Intn(5)))
+		in := multiset.Vec{int64(rr.Intn(30))}
+		deMorgan1 := Not{And{p, q}}.Eval(in) == Or{Not{p}, Not{q}}.Eval(in)
+		deMorgan2 := Not{Or{p, q}}.Eval(in) == And{Not{p}, Not{q}}.Eval(in)
+		doubleNeg := Not{Not{p}}.Eval(in) == p.Eval(in)
+		return deMorgan1 && deMorgan2 && doubleNeg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counting predicates are monotone in x.
+func TestQuickCountingMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		p := NewCounting(int64(rr.Intn(50)))
+		x := int64(rr.Intn(100))
+		if p.Eval(multiset.Vec{x}) && !p.Eval(multiset.Vec{x + 1}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/multiset"
+)
+
+// Validation errors returned by Builder.Build.
+var (
+	ErrNoStates        = errors.New("protocol: no states")
+	ErrNoInputs        = errors.New("protocol: no input variables")
+	ErrIncomplete      = errors.New("protocol: a pair of states has no transition")
+	ErrDuplicateState  = errors.New("protocol: duplicate state name")
+	ErrDuplicateInput  = errors.New("protocol: duplicate input variable")
+	ErrUnknownState    = errors.New("protocol: unknown state")
+	ErrNegativeLeaders = errors.New("protocol: negative leader count")
+)
+
+// Builder assembles a Protocol. The zero value is not usable; create one with
+// NewBuilder. Build validates the protocol; by default every unordered pair
+// of states must have at least one transition, as the paper assumes. Use
+// CompleteWithIdentity to fill missing pairs with no-op transitions.
+type Builder struct {
+	name        string
+	states      []string
+	outputs     []bool
+	leaders     map[State]int64
+	inputs      []string
+	inputMap    []State
+	transitions []Transition
+	seen        map[Transition]bool
+	autoIdent   bool
+}
+
+// NewBuilder returns a Builder for a protocol with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		leaders: make(map[State]int64),
+		seen:    make(map[Transition]bool),
+	}
+}
+
+// AddState adds a state with the given name and output (0 or 1) and returns
+// its id. Duplicate names are reported at Build time.
+func (b *Builder) AddState(name string, output int) State {
+	q := State(len(b.states))
+	b.states = append(b.states, name)
+	b.outputs = append(b.outputs, output != 0)
+	return q
+}
+
+// AddStates adds consecutive states sharing one output and returns their ids.
+func (b *Builder) AddStates(output int, names ...string) []State {
+	out := make([]State, len(names))
+	for i, n := range names {
+		out[i] = b.AddState(n, output)
+	}
+	return out
+}
+
+// AddTransition adds the transition ⟅p,q⟆ ↦ ⟅p2,q2⟆. Transitions are
+// normalized (both sides unordered) and deduplicated.
+func (b *Builder) AddTransition(p, q, p2, q2 State) {
+	t := Transition{p, q, p2, q2}.normalize()
+	if b.seen[t] {
+		return
+	}
+	b.seen[t] = true
+	b.transitions = append(b.transitions, t)
+}
+
+// AddLeader adds n leader agents in state q to the leader multiset L.
+func (b *Builder) AddLeader(q State, n int64) {
+	b.leaders[q] += n
+}
+
+// AddInput declares an input variable mapped to state q by I. Duplicate
+// names are reported at Build time.
+func (b *Builder) AddInput(name string, q State) {
+	b.inputs = append(b.inputs, name)
+	b.inputMap = append(b.inputMap, q)
+}
+
+// CompleteWithIdentity makes Build add an identity transition p,q ↦ p,q for
+// every pair of states that has no transition, satisfying the paper's
+// completeness requirement without changing behaviour.
+func (b *Builder) CompleteWithIdentity() *Builder {
+	b.autoIdent = true
+	return b
+}
+
+// Build validates and returns the protocol.
+func (b *Builder) Build() (*Protocol, error) {
+	n := len(b.states)
+	if n == 0 {
+		return nil, ErrNoStates
+	}
+	if len(b.inputs) == 0 {
+		return nil, ErrNoInputs
+	}
+	seenName := make(map[string]bool, n)
+	for _, name := range b.states {
+		if seenName[name] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateState, name)
+		}
+		seenName[name] = true
+	}
+	seenInput := make(map[string]bool, len(b.inputs))
+	for x, name := range b.inputs {
+		if seenInput[name] {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateInput, name)
+		}
+		seenInput[name] = true
+		if q := b.inputMap[x]; q < 0 || int(q) >= n {
+			return nil, fmt.Errorf("%w: input %q maps to state %d", ErrUnknownState, name, q)
+		}
+	}
+	for _, t := range b.transitions {
+		for _, q := range []State{t.P, t.Q, t.P2, t.Q2} {
+			if q < 0 || int(q) >= n {
+				return nil, fmt.Errorf("%w: transition uses state %d", ErrUnknownState, q)
+			}
+		}
+	}
+
+	leaders := multiset.New(n)
+	for q, c := range b.leaders {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: state %q has %d", ErrNegativeLeaders, b.states[q], c)
+		}
+		if q < 0 || int(q) >= n {
+			return nil, fmt.Errorf("%w: leader state %d", ErrUnknownState, q)
+		}
+		leaders[q] = c
+	}
+
+	p := &Protocol{
+		name:        b.name,
+		states:      append([]string(nil), b.states...),
+		outputs:     append([]bool(nil), b.outputs...),
+		leaders:     leaders,
+		inputs:      append([]string(nil), b.inputs...),
+		inputMap:    append([]State(nil), b.inputMap...),
+		transitions: append([]Transition(nil), b.transitions...),
+	}
+
+	// Index transitions by unordered pre-pair, optionally completing with
+	// identity transitions.
+	p.byPair = make([][]int, n*(n+1)/2)
+	for i, t := range p.transitions {
+		idx := p.pairIndex(t.P, t.Q)
+		p.byPair[idx] = append(p.byPair[idx], i)
+	}
+	for a := State(0); int(a) < n; a++ {
+		for c := a; int(c) < n; c++ {
+			idx := p.pairIndex(a, c)
+			if len(p.byPair[idx]) > 0 {
+				continue
+			}
+			if !b.autoIdent {
+				return nil, fmt.Errorf("%w: ⟅%s,%s⟆", ErrIncomplete, p.states[a], p.states[c])
+			}
+			t := Transition{a, c, a, c}
+			p.transitions = append(p.transitions, t)
+			p.byPair[idx] = append(p.byPair[idx], len(p.transitions)-1)
+		}
+	}
+
+	// Precompute displacements.
+	p.deltas = make([]multiset.Vec, len(p.transitions))
+	for i, t := range p.transitions {
+		d := multiset.New(n)
+		d[t.P]--
+		d[t.Q]--
+		d[t.P2]++
+		d[t.Q2]++
+		p.deltas[i] = d
+	}
+	return p, nil
+}
+
+// MustBuild is Build for protocols known to be valid, such as the library's
+// built-in constructions; it panics on error.
+func (b *Builder) MustBuild() *Protocol {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,48 @@
+package protocol
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the protocol as a Graphviz digraph: one node per state
+// (double circle for output 1, with leader counts annotated) and one edge
+// per non-identity transition, drawn from the pre-pair to the post-pair
+// through a small junction node. The output is deterministic.
+func (p *Protocol) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", p.name)
+	for q, name := range p.states {
+		shape := "circle"
+		if p.outputs[q] {
+			shape = "doublecircle"
+		}
+		label := name
+		if l := p.leaders[q]; l > 0 {
+			label = fmt.Sprintf("%s\\n(%d leaders)", name, l)
+		}
+		if State(q) == p.inputMap[0] && len(p.inputs) == 1 {
+			label += "\\n← x"
+		}
+		fmt.Fprintf(&b, "  q%d [label=\"%s\", shape=%s];\n", q, label, shape)
+	}
+	for i, t := range p.transitions {
+		if t.IsIdentity() {
+			continue
+		}
+		j := fmt.Sprintf("t%d", i)
+		fmt.Fprintf(&b, "  %s [shape=point, width=0.05];\n", j)
+		fmt.Fprintf(&b, "  q%d -> %s [dir=none];\n", t.P, j)
+		if t.Q != t.P {
+			fmt.Fprintf(&b, "  q%d -> %s [dir=none];\n", t.Q, j)
+		}
+		fmt.Fprintf(&b, "  %s -> q%d;\n", j, t.P2)
+		if t.Q2 != t.P2 {
+			fmt.Fprintf(&b, "  %s -> q%d;\n", j, t.Q2)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := buildMajority(t)
+	var b strings.Builder
+	if err := p.WriteDOT(&b); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"digraph \"majority\"",
+		"doublecircle", // output-1 states
+		"shape=circle",
+		"->",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+	// Deterministic output.
+	var b2 strings.Builder
+	if err := p.WriteDOT(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WriteDOT not deterministic")
+	}
+	// Identity transitions are not drawn: count junction points vs
+	// non-identity transitions.
+	nonIdent := 0
+	for _, tr := range p.Transitions() {
+		if !tr.IsIdentity() {
+			nonIdent++
+		}
+	}
+	if got := strings.Count(out, "shape=point"); got != nonIdent {
+		t.Errorf("%d junction nodes, want %d", got, nonIdent)
+	}
+}
+
+func TestWriteDOTLeaders(t *testing.T) {
+	b := NewBuilder("lead")
+	q := b.AddState("q", 0)
+	l := b.AddState("l", 1)
+	b.AddLeader(l, 2)
+	b.AddInput("x", q)
+	p := b.CompleteWithIdentity().MustBuild()
+	var sb strings.Builder
+	if err := p.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(2 leaders)") {
+		t.Errorf("leader annotation missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "← x") {
+		t.Errorf("input annotation missing:\n%s", sb.String())
+	}
+}

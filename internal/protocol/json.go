@@ -1,0 +1,131 @@
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Spec is the on-disk JSON representation of a protocol, used by the command
+// line tools. Example:
+//
+//	{
+//	  "name": "majority",
+//	  "states": [{"name": "A", "output": 1}, {"name": "B", "output": 0}],
+//	  "transitions": [["A", "B", "B", "B"]],
+//	  "leaders": {"A": 1},
+//	  "inputs": {"x": "A"},
+//	  "completeWithIdentity": true
+//	}
+type Spec struct {
+	Name                 string            `json:"name"`
+	States               []SpecState       `json:"states"`
+	Transitions          [][4]string       `json:"transitions"`
+	Leaders              map[string]int64  `json:"leaders,omitempty"`
+	Inputs               map[string]string `json:"inputs"`
+	CompleteWithIdentity bool              `json:"completeWithIdentity,omitempty"`
+}
+
+// SpecState is one state entry of a Spec.
+type SpecState struct {
+	Name   string `json:"name"`
+	Output int    `json:"output"`
+}
+
+// ToSpec converts a protocol to its JSON representation. Identity transitions
+// are kept so the round trip is exact; CompleteWithIdentity is false in the
+// result.
+func (p *Protocol) ToSpec() Spec {
+	s := Spec{
+		Name:   p.name,
+		Inputs: make(map[string]string, len(p.inputs)),
+	}
+	for q, name := range p.states {
+		s.States = append(s.States, SpecState{Name: name, Output: p.Output(State(q))})
+	}
+	for _, t := range p.transitions {
+		s.Transitions = append(s.Transitions, [4]string{
+			p.states[t.P], p.states[t.Q], p.states[t.P2], p.states[t.Q2],
+		})
+	}
+	if !p.Leaderless() {
+		s.Leaders = make(map[string]int64)
+		for q, n := range p.leaders {
+			if n > 0 {
+				s.Leaders[p.states[q]] = n
+			}
+		}
+	}
+	for x, name := range p.inputs {
+		s.Inputs[name] = p.states[p.inputMap[x]]
+	}
+	return s
+}
+
+// FromSpec builds a protocol from its JSON representation.
+func FromSpec(s Spec) (*Protocol, error) {
+	b := NewBuilder(s.Name)
+	if s.CompleteWithIdentity {
+		b.CompleteWithIdentity()
+	}
+	idx := make(map[string]State, len(s.States))
+	for _, st := range s.States {
+		if _, dup := idx[st.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateState, st.Name)
+		}
+		idx[st.Name] = b.AddState(st.Name, st.Output)
+	}
+	lookup := func(name string) (State, error) {
+		q, ok := idx[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrUnknownState, name)
+		}
+		return q, nil
+	}
+	for _, tr := range s.Transitions {
+		var qs [4]State
+		for i, name := range tr {
+			q, err := lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			qs[i] = q
+		}
+		b.AddTransition(qs[0], qs[1], qs[2], qs[3])
+	}
+	for name, n := range s.Leaders {
+		q, err := lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		b.AddLeader(q, n)
+	}
+	// Sort input names for deterministic variable order.
+	names := make([]string, 0, len(s.Inputs))
+	for name := range s.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		q, err := lookup(s.Inputs[name])
+		if err != nil {
+			return nil, err
+		}
+		b.AddInput(name, q)
+	}
+	return b.Build()
+}
+
+// MarshalJSON encodes the protocol as its Spec.
+func (p *Protocol) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.ToSpec())
+}
+
+// Parse decodes a protocol from JSON bytes.
+func Parse(data []byte) (*Protocol, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("protocol: parsing spec: %w", err)
+	}
+	return FromSpec(s)
+}

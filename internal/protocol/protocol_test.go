@@ -1,0 +1,423 @@
+package protocol
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/multiset"
+)
+
+// buildMajority returns the classic 4-state majority protocol: inputs A and
+// B; A,B ↦ a,b; A,b ↦ A,a; B,a ↦ B,b; a,b ↦ b,b. Output 1 for {A,a}.
+func buildMajority(t testing.TB) *Protocol {
+	t.Helper()
+	b := NewBuilder("majority")
+	A := b.AddState("A", 1)
+	B := b.AddState("B", 0)
+	sa := b.AddState("a", 1)
+	sb := b.AddState("b", 0)
+	b.AddTransition(A, B, sa, sb)
+	b.AddTransition(A, sb, A, sa)
+	b.AddTransition(B, sa, B, sb)
+	b.AddTransition(sa, sb, sb, sb)
+	b.AddInput("x_A", A)
+	b.AddInput("x_B", B)
+	p, err := b.CompleteWithIdentity().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderValidation(t *testing.T) {
+	t.Run("no states", func(t *testing.T) {
+		if _, err := NewBuilder("e").Build(); err == nil {
+			t.Fatal("want error for empty protocol")
+		}
+	})
+	t.Run("no inputs", func(t *testing.T) {
+		b := NewBuilder("e")
+		b.AddState("q", 0)
+		if _, err := b.CompleteWithIdentity().Build(); err == nil {
+			t.Fatal("want error for missing inputs")
+		}
+	})
+	t.Run("incomplete pairs", func(t *testing.T) {
+		b := NewBuilder("e")
+		q := b.AddState("q", 0)
+		b.AddState("r", 1)
+		b.AddInput("x", q)
+		_, err := b.Build()
+		if err == nil || !strings.Contains(err.Error(), "no transition") {
+			t.Fatalf("want incompleteness error, got %v", err)
+		}
+	})
+	t.Run("duplicate state", func(t *testing.T) {
+		b := NewBuilder("e")
+		q := b.AddState("q", 0)
+		b.AddState("q", 1)
+		b.AddInput("x", q)
+		if _, err := b.CompleteWithIdentity().Build(); err == nil {
+			t.Fatal("want duplicate state error")
+		}
+	})
+	t.Run("duplicate input", func(t *testing.T) {
+		b := NewBuilder("e")
+		q := b.AddState("q", 0)
+		b.AddInput("x", q)
+		b.AddInput("x", q)
+		if _, err := b.CompleteWithIdentity().Build(); err == nil {
+			t.Fatal("want duplicate input error")
+		}
+	})
+	t.Run("negative leaders", func(t *testing.T) {
+		b := NewBuilder("e")
+		q := b.AddState("q", 0)
+		b.AddInput("x", q)
+		b.AddLeader(q, -1)
+		if _, err := b.CompleteWithIdentity().Build(); err == nil {
+			t.Fatal("want negative leader error")
+		}
+	})
+	t.Run("valid single state", func(t *testing.T) {
+		b := NewBuilder("one")
+		q := b.AddState("q", 1)
+		b.AddInput("x", q)
+		p, err := b.CompleteWithIdentity().Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if p.NumStates() != 1 || p.NumTransitions() != 1 {
+			t.Fatalf("states=%d transitions=%d", p.NumStates(), p.NumTransitions())
+		}
+		if !p.Transition(0).IsIdentity() {
+			t.Fatal("auto-completed transition should be identity")
+		}
+	})
+}
+
+func TestNormalizationAndDedup(t *testing.T) {
+	b := NewBuilder("n")
+	q0 := b.AddState("q0", 0)
+	q1 := b.AddState("q1", 1)
+	// Same transition written four ways.
+	b.AddTransition(q0, q1, q1, q0)
+	b.AddTransition(q1, q0, q0, q1)
+	b.AddTransition(q1, q0, q1, q0)
+	b.AddTransition(q0, q1, q0, q1)
+	b.AddInput("x", q0)
+	p := b.CompleteWithIdentity().MustBuild()
+	// One real transition + identities for ⟅q0,q0⟆ and ⟅q1,q1⟆.
+	if p.NumTransitions() != 3 {
+		t.Fatalf("transitions = %d, want 3 (dedup failed)", p.NumTransitions())
+	}
+	tr := p.Transition(0)
+	if tr.P > tr.Q || tr.P2 > tr.Q2 {
+		t.Fatalf("transition not normalized: %+v", tr)
+	}
+	if !tr.IsIdentity() {
+		t.Fatalf("⟅q0,q1⟆↦⟅q1,q0⟆ is the identity on multisets, got %+v", tr)
+	}
+}
+
+func TestInitialConfig(t *testing.T) {
+	p := buildMajority(t)
+	ic := p.InitialConfig(multiset.Vec{3, 2})
+	A, _ := p.StateByName("A")
+	B, _ := p.StateByName("B")
+	if ic[A] != 3 || ic[B] != 2 || ic.Size() != 5 {
+		t.Fatalf("IC = %s", p.FormatConfig(ic))
+	}
+
+	// With leaders: IC(m) = L + Σ m(x)·I(x).
+	b := NewBuilder("lead")
+	q := b.AddState("q", 0)
+	l := b.AddState("l", 1)
+	b.AddLeader(l, 2)
+	b.AddInput("x", q)
+	lp := b.CompleteWithIdentity().MustBuild()
+	ic = lp.InitialConfigN(4)
+	if ic[q] != 4 || ic[l] != 2 {
+		t.Fatalf("IC with leaders = %v", ic)
+	}
+	if lp.Leaderless() {
+		t.Fatal("protocol has leaders")
+	}
+	if lp.NumLeaders() != 2 {
+		t.Fatalf("NumLeaders = %d", lp.NumLeaders())
+	}
+}
+
+func TestInitialConfigNPanicsOnMultiInput(t *testing.T) {
+	p := buildMajority(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InitialConfigN on 2-input protocol should panic")
+		}
+	}()
+	p.InitialConfigN(3)
+}
+
+func TestEnabledFire(t *testing.T) {
+	p := buildMajority(t)
+	A, _ := p.StateByName("A")
+	B, _ := p.StateByName("B")
+	sa, _ := p.StateByName("a")
+	sb, _ := p.StateByName("b")
+
+	c := multiset.New(4)
+	c[A], c[B] = 1, 1
+	var meet int = -1
+	for _, i := range p.TransitionsForPair(A, B) {
+		if !p.Transition(i).IsIdentity() {
+			meet = i
+		}
+	}
+	if meet < 0 {
+		t.Fatal("no A,B transition")
+	}
+	if !p.Enabled(c, meet) {
+		t.Fatal("A,B ↦ a,b should be enabled")
+	}
+	c2 := p.Fire(c, meet)
+	if c2[A] != 0 || c2[B] != 0 || c2[sa] != 1 || c2[sb] != 1 {
+		t.Fatalf("Fire = %s", p.FormatConfig(c2))
+	}
+	// Original untouched.
+	if c[A] != 1 || c[B] != 1 {
+		t.Fatal("Fire mutated its input")
+	}
+	// Displacement agrees with firing.
+	want := c.Add(p.Displacement(meet))
+	if !c2.Equal(want) {
+		t.Fatalf("Fire %v != C+Δt %v", c2, want)
+	}
+	if p.Enabled(c2, meet) {
+		t.Fatal("A,B transition must be disabled after both converted")
+	}
+}
+
+func TestFirePanicsWhenDisabled(t *testing.T) {
+	p := buildMajority(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fire on disabled transition should panic")
+		}
+	}()
+	p.Fire(multiset.New(4), 0)
+}
+
+func TestSelfPairNeedsTwoAgents(t *testing.T) {
+	b := NewBuilder("self")
+	q := b.AddState("q", 0)
+	r := b.AddState("r", 1)
+	b.AddTransition(q, q, r, r)
+	b.AddInput("x", q)
+	p := b.CompleteWithIdentity().MustBuild()
+	var self int = -1
+	for _, i := range p.TransitionsForPair(q, q) {
+		if !p.Transition(i).IsIdentity() {
+			self = i
+		}
+	}
+	one := multiset.Vec{1, 0}
+	two := multiset.Vec{2, 0}
+	if p.Enabled(one, self) {
+		t.Fatal("q,q needs two agents in q")
+	}
+	if !p.Enabled(two, self) {
+		t.Fatal("q,q should be enabled with two agents")
+	}
+	got := p.Fire(two, self)
+	if !got.Equal(multiset.Vec{0, 2}) {
+		t.Fatalf("Fire = %v", got)
+	}
+}
+
+func TestOutputOf(t *testing.T) {
+	p := buildMajority(t)
+	A, _ := p.StateByName("A")
+	sb, _ := p.StateByName("b")
+	c := multiset.New(4)
+	if _, ok := p.OutputOf(c); ok {
+		t.Fatal("empty configuration has undefined output")
+	}
+	c[A] = 2
+	if b, ok := p.OutputOf(c); !ok || b != 1 {
+		t.Fatalf("OutputOf = %d,%t want 1,true", b, ok)
+	}
+	c[sb] = 1
+	if _, ok := p.OutputOf(c); ok {
+		t.Fatal("mixed configuration has undefined output")
+	}
+	c[A] = 0
+	if b, ok := p.OutputOf(c); !ok || b != 0 {
+		t.Fatalf("OutputOf = %d,%t want 0,true", b, ok)
+	}
+}
+
+func TestOutputStates(t *testing.T) {
+	p := buildMajority(t)
+	ones := p.OutputStates(1)
+	zeros := p.OutputStates(0)
+	if len(ones) != 2 || len(zeros) != 2 {
+		t.Fatalf("OutputStates: %v / %v", ones, zeros)
+	}
+}
+
+func TestSilentAndSaturated(t *testing.T) {
+	p := buildMajority(t)
+	sb, _ := p.StateByName("b")
+	c := multiset.New(4)
+	c[sb] = 5
+	if !p.Silent(c) {
+		t.Fatal("all-b configuration is silent")
+	}
+	A, _ := p.StateByName("A")
+	c[A] = 1
+	// A,b ↦ A,a changes the configuration.
+	if p.Silent(c) {
+		t.Fatal("A+b is not silent")
+	}
+	if !p.Saturated(multiset.Vec{1, 1, 1, 1}, 1) {
+		t.Fatal("want 1-saturated")
+	}
+	if p.Saturated(multiset.Vec{1, 0, 1, 1}, 1) {
+		t.Fatal("not saturated with a zero")
+	}
+	if !p.Saturated(multiset.Vec{3, 4, 3, 5}, 3) {
+		t.Fatal("want 3-saturated")
+	}
+}
+
+func TestParikhDisplacement(t *testing.T) {
+	p := buildMajority(t)
+	A, _ := p.StateByName("A")
+	B, _ := p.StateByName("B")
+	var meet int
+	for _, i := range p.TransitionsForPair(A, B) {
+		if !p.Transition(i).IsIdentity() {
+			meet = i
+		}
+	}
+	d := p.ParikhDisplacement(map[int]int64{meet: 3})
+	want := p.Displacement(meet).Scale(3)
+	if !d.Equal(want) {
+		t.Fatalf("ParikhDisplacement = %v, want %v", d, want)
+	}
+	if !p.ParikhDisplacement(nil).IsZero() {
+		t.Fatal("empty Parikh displacement should be zero")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := buildMajority(t)
+	if !p.Deterministic() {
+		t.Fatal("majority as built is deterministic")
+	}
+	b := NewBuilder("nd")
+	q := b.AddState("q", 0)
+	r := b.AddState("r", 1)
+	b.AddTransition(q, q, r, r)
+	b.AddTransition(q, q, q, r)
+	b.AddInput("x", q)
+	nd := b.CompleteWithIdentity().MustBuild()
+	if nd.Deterministic() {
+		t.Fatal("protocol with two q,q transitions is nondeterministic")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := buildMajority(t)
+	data, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	q, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.NumStates() != p.NumStates() || q.NumTransitions() != p.NumTransitions() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			q.NumStates(), q.NumTransitions(), p.NumStates(), p.NumTransitions())
+	}
+	if q.Name() != p.Name() {
+		t.Fatalf("name %q vs %q", q.Name(), p.Name())
+	}
+	// Same behaviour on a concrete configuration.
+	ic := multiset.Vec{2, 1}
+	c1 := p.InitialConfig(ic)
+	c2 := q.InitialConfig(ic)
+	if !c1.Equal(c2) {
+		t.Fatalf("IC differs after round trip: %v vs %v", c1, c2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"name":"x","states":[{"name":"q","output":0}],"transitions":[["q","q","q","zz"]],"inputs":{"x":"q"},"completeWithIdentity":true}`,
+		`{"name":"x","states":[{"name":"q","output":0}],"transitions":[],"inputs":{"x":"zz"},"completeWithIdentity":true}`,
+		`{"name":"x","states":[{"name":"q","output":0},{"name":"q","output":1}],"transitions":[],"inputs":{"x":"q"},"completeWithIdentity":true}`,
+		`{"name":"x","states":[{"name":"q","output":0}],"transitions":[],"leaders":{"zz":1},"inputs":{"x":"q"},"completeWithIdentity":true}`,
+	}
+	for i, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("case %d: want parse error", i)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := buildMajority(t)
+	s := p.String()
+	for _, frag := range []string{"majority", "A/1", "b/0", "A,B ↦ a,b"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+	tr := p.Transition(0)
+	if got := p.FormatTransition(tr); !strings.Contains(got, "↦") {
+		t.Errorf("FormatTransition = %q", got)
+	}
+}
+
+// Property: firing any enabled transition preserves population size and
+// agrees with the displacement vector; enabledness is monotone (firing stays
+// enabled in larger configurations) — the monotonicity property of Section 2.
+func TestQuickFireDisplacementMonotonicity(t *testing.T) {
+	p := buildMajority(t)
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		c := multiset.Vec{
+			int64(rr.Intn(5)), int64(rr.Intn(5)),
+			int64(rr.Intn(5)), int64(rr.Intn(5)),
+		}
+		extra := multiset.Vec{
+			int64(rr.Intn(3)), int64(rr.Intn(3)),
+			int64(rr.Intn(3)), int64(rr.Intn(3)),
+		}
+		for i := 0; i < p.NumTransitions(); i++ {
+			if !p.Enabled(c, i) {
+				// Monotonicity: if disabled at c+extra it must be disabled at c.
+				continue
+			}
+			got := p.Fire(c, i)
+			if got.Size() != c.Size() {
+				return false
+			}
+			if !got.Equal(c.Add(p.Displacement(i))) {
+				return false
+			}
+			if !p.Enabled(c.Add(extra), i) {
+				return false // monotonicity violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

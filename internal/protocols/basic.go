@@ -1,0 +1,138 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/pred"
+	"repro/internal/protocol"
+)
+
+// Majority returns the classic 4-state majority protocol computing
+// x_A > x_B: active states A, B cancel into passive a, b; actives convert
+// passives of the other opinion; on a tie the passive pair a,b resolves to b
+// so that "not more As than Bs" yields output 0.
+func Majority() Entry {
+	b := protocol.NewBuilder("majority")
+	qA := b.AddState("A", 1)
+	qB := b.AddState("B", 0)
+	pa := b.AddState("a", 1)
+	pb := b.AddState("b", 0)
+	b.AddTransition(qA, qB, pa, pb)
+	b.AddTransition(qA, pb, qA, pa)
+	b.AddTransition(qB, pa, qB, pb)
+	b.AddTransition(pa, pb, pb, pb)
+	b.AddInput("x_A", qA)
+	b.AddInput("x_B", qB)
+	return Entry{
+		Protocol:      b.CompleteWithIdentity().MustBuild(),
+		Pred:          pred.NewMajority(),
+		MaxExactInput: 12,
+	}
+}
+
+// ModuloIn returns a leaderless protocol computing "x mod m ∈ residues" with
+// m+2 states: value states V_0..V_(m−1) (accumulators that merge additively
+// mod m) and two passive states p0, p1 carrying the current belief. Fair
+// executions end with a single accumulator V_(x mod m) that converts every
+// passive agent to its own output.
+func ModuloIn(m int64, residues ...int64) Entry {
+	if m < 1 {
+		panic(fmt.Sprintf("protocols: ModuloIn needs m ≥ 1, got %d", m))
+	}
+	inR := make(map[int64]bool, len(residues))
+	for _, r := range residues {
+		rr := r % m
+		if rr < 0 {
+			rr += m
+		}
+		inR[rr] = true
+	}
+	out := func(v int64) int {
+		if inR[v] {
+			return 1
+		}
+		return 0
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("modulo(m=%d, R=%v)", m, residues))
+	val := make([]protocol.State, m)
+	for v := int64(0); v < m; v++ {
+		val[v] = b.AddState(fmt.Sprintf("V%d", v), out(v))
+	}
+	passive := [2]protocol.State{
+		b.AddState("p0", 0),
+		b.AddState("p1", 1),
+	}
+	for u := int64(0); u < m; u++ {
+		for v := u; v < m; v++ {
+			s := (u + v) % m
+			b.AddTransition(val[u], val[v], val[s], passive[out(s)])
+		}
+		for _, p := range passive {
+			b.AddTransition(val[u], p, val[u], passive[out(u)])
+		}
+	}
+	b.AddInput("x", val[1%m])
+	ps := make([]pred.Pred, 0, len(inR))
+	for r := range inR {
+		ps = append(ps, pred.NewModCounting(m, r))
+	}
+	var phi pred.Pred = pred.Or(ps)
+	return Entry{
+		Protocol:      b.CompleteWithIdentity().MustBuild(),
+		Pred:          phi,
+		MaxExactInput: maxExactForStates(int(m) + 2),
+	}
+}
+
+// Parity returns the protocol computing "x is odd" (x ≡ 1 mod 2).
+func Parity() Entry { return ModuloIn(2, 1) }
+
+// LeaderFlock returns a protocol *with one leader* computing x ≥ η: the
+// leader sequentially counts agents it meets (c_i, u ↦ c_(i+1), d) and
+// announces Yes at η. It is deliberately non-succinct (η+3 states); it
+// exists to exercise the leader code paths (IC(i) = L + i·x, BBL machinery).
+func LeaderFlock(eta int64) Entry {
+	if eta < 1 {
+		panic(fmt.Sprintf("protocols: LeaderFlock needs η ≥ 1, got %d", eta))
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("leader-flock(η=%d)", eta))
+	cnt := make([]protocol.State, eta)
+	for i := int64(0); i < eta; i++ {
+		cnt[i] = b.AddState(fmt.Sprintf("c%d", i), 0)
+	}
+	u := b.AddState("u", 0)
+	d := b.AddState("d", 0)
+	yes := b.AddState("Yes", 1)
+	for i := int64(0); i+1 < eta; i++ {
+		b.AddTransition(cnt[i], u, cnt[i+1], d)
+	}
+	b.AddTransition(cnt[eta-1], u, yes, yes)
+	for i := int64(0); i < eta; i++ {
+		b.AddTransition(yes, cnt[i], yes, yes)
+	}
+	b.AddTransition(yes, u, yes, yes)
+	b.AddTransition(yes, d, yes, yes)
+	b.AddLeader(cnt[0], 1)
+	b.AddInput("x", u)
+	return Entry{
+		Protocol:      b.CompleteWithIdentity().MustBuild(),
+		Pred:          pred.NewCounting(eta),
+		MaxExactInput: maxExactForStates(int(eta) + 3),
+	}
+}
+
+// Constant returns a one-state protocol computing the constant predicate.
+func Constant(value bool) Entry {
+	b := protocol.NewBuilder(fmt.Sprintf("constant(%t)", value))
+	out := 0
+	if value {
+		out = 1
+	}
+	q := b.AddState("q", out)
+	b.AddInput("x", q)
+	return Entry{
+		Protocol:      b.CompleteWithIdentity().MustBuild(),
+		Pred:          pred.Const{Value: value, Vars: 1},
+		MaxExactInput: 20,
+	}
+}

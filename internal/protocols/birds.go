@@ -1,0 +1,242 @@
+// Package protocols is the protocol zoo: concrete population protocols with
+// their specifications. It contains the paper's Example 2.1 constructions
+// (the flock-of-birds protocol P_k and its succinct variant P'_k), a
+// logarithmic-state threshold protocol for arbitrary η witnessing the
+// Ω-direction of Theorem 2.2, and the classic majority and modulo protocols,
+// together with a product construction for boolean combinations.
+//
+// Every constructor returns a protocol paired with the predicate it computes;
+// the reach package verifies these pairings exhaustively for bounded inputs.
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/pred"
+	"repro/internal/protocol"
+)
+
+// Entry pairs a protocol with the predicate it computes and a bound up to
+// which exhaustive verification is practical.
+type Entry struct {
+	Protocol *protocol.Protocol
+	Pred     pred.Pred
+	// MaxExactInput is a per-entry population bound for exhaustive
+	// verification in tests (chosen so the configuration graphs stay small).
+	MaxExactInput int64
+}
+
+// FlockOfBirds returns the paper's protocol P_k generalized from 2^k to an
+// arbitrary threshold η ≥ 1 (Example 2.1): each agent stores a number,
+// initially 1; when two agents meet, one stores the (capped) sum and the
+// other 0; an agent that reaches η converts everyone. It computes x ≥ η with
+// η+1 states.
+func FlockOfBirds(eta int64) Entry {
+	if eta < 1 {
+		panic(fmt.Sprintf("protocols: FlockOfBirds needs η ≥ 1, got %d", eta))
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("flock-of-birds(η=%d)", eta))
+	states := make([]protocol.State, eta+1)
+	for v := int64(0); v <= eta; v++ {
+		out := 0
+		if v == eta {
+			out = 1
+		}
+		states[v] = b.AddState(fmt.Sprintf("%d", v), out)
+	}
+	for a := int64(0); a <= eta; a++ {
+		for c := a; c <= eta; c++ {
+			if a+c < eta {
+				b.AddTransition(states[a], states[c], states[0], states[a+c])
+			} else {
+				b.AddTransition(states[a], states[c], states[eta], states[eta])
+			}
+		}
+	}
+	b.AddInput("x", states[1])
+	return Entry{
+		Protocol:      b.MustBuild(),
+		Pred:          pred.NewCounting(eta),
+		MaxExactInput: maxExactForStates(int(eta) + 1),
+	}
+}
+
+// PaperPk returns Example 2.1's P_k, the flock-of-birds protocol for
+// threshold 2^k, with 2^k + 1 states.
+func PaperPk(k uint) Entry {
+	return FlockOfBirds(1 << k)
+}
+
+// Succinct returns Example 2.1's succinct protocol P'_k computing x ≥ 2^k
+// with k+2 states {0, 2^0, ..., 2^k}: equal powers merge (2^i, 2^i ↦ 0,
+// 2^(i+1)) and the top power converts everyone.
+func Succinct(k uint) Entry {
+	b := protocol.NewBuilder(fmt.Sprintf("succinct(2^%d)", k))
+	zero := b.AddState("0", 0)
+	pow := make([]protocol.State, k+1)
+	for i := uint(0); i <= k; i++ {
+		out := 0
+		if i == k {
+			out = 1
+		}
+		pow[i] = b.AddState(fmt.Sprintf("2^%d", i), out)
+	}
+	for i := uint(0); i < k; i++ {
+		b.AddTransition(pow[i], pow[i], zero, pow[i+1])
+	}
+	b.AddTransition(zero, pow[k], pow[k], pow[k])
+	for i := uint(0); i <= k; i++ {
+		b.AddTransition(pow[i], pow[k], pow[k], pow[k])
+	}
+	b.AddInput("x", pow[0])
+	return Entry{
+		Protocol:      b.CompleteWithIdentity().MustBuild(),
+		Pred:          pred.NewCounting(1 << k),
+		MaxExactInput: maxExactForStates(int(k) + 2),
+	}
+}
+
+// BinaryThreshold returns a leaderless protocol computing x ≥ η with
+// O(log η) states for arbitrary η ≥ 1, witnessing BB(n) ∈ Ω(2^n) up to
+// constants (Theorem 2.2, Ω-direction; cf. Blondin et al. [12]).
+//
+// Construction. Write η = 2^(a_1) + ... + 2^(a_r) with a_1 > ... > a_r.
+// Agents carry values from {0} ∪ {2^i : i ≤ a_1} ∪ {A_2, ..., A_(r-1)} where
+// A_m = 2^(a_1) + ... + 2^(a_m) is a prefix sum of η's binary expansion,
+// plus an absorbing Yes state. Rules, in order of precedence for each pair:
+//
+//  1. Yes converts: Yes, q ↦ Yes, Yes.
+//  2. Sum detection: u, v ↦ Yes, Yes whenever value(u) + value(v) ≥ η.
+//  3. Power merge: 2^i, 2^i ↦ 0, 2^(i+1).
+//  4. Prefix extend: A_m, 2^(a_(m+1)) ↦ 0, A_(m+1) (with A_1 = 2^(a_1)).
+//  5. Otherwise the pair is inert.
+//
+// Soundness: the total value Σ value is exactly x until a Yes appears, rules
+// 3-4 conserve it, and rule 2 fires only when two agents witness value ≥ η,
+// which requires x ≥ η. Completeness: if the total is ≥ η, either two agents
+// already sum to ≥ η, or the largest prefix A_m can always be extended — the
+// remaining agents hold ≥ η − A_m in powers ≤ 2^(a_(m+1)) (any larger power
+// triggers rule 2 because A_m + 2·2^(a_(m+1)) > η), and powers summing to at
+// least 2^(a_(m+1)) can merge up to produce it.
+func BinaryThreshold(eta int64) Entry {
+	if eta < 1 {
+		panic(fmt.Sprintf("protocols: BinaryThreshold needs η ≥ 1, got %d", eta))
+	}
+	// Bit positions of η, descending.
+	var bits []uint
+	for i := 62; i >= 0; i-- {
+		if eta&(1<<uint(i)) != 0 {
+			bits = append(bits, uint(i))
+		}
+	}
+	top := bits[0]
+
+	b := protocol.NewBuilder(fmt.Sprintf("binary-threshold(η=%d)", eta))
+	type valued struct {
+		st  protocol.State
+		val int64
+	}
+	var vs []valued
+	add := func(name string, val int64) protocol.State {
+		st := b.AddState(name, 0)
+		vs = append(vs, valued{st, val})
+		return st
+	}
+	zero := add("0", 0)
+	_ = zero
+	pow := make(map[uint]protocol.State, top+1)
+	for i := uint(0); i <= top; i++ {
+		pow[i] = add(fmt.Sprintf("2^%d", i), 1<<i)
+	}
+	// Prefix-sum states A_m for m = 2..r-1 (A_1 is the top power itself;
+	// completing A_(r-1) with the last bit reaches η and is caught by the
+	// sum rule).
+	acc := make([]protocol.State, len(bits))
+	accVal := make([]int64, len(bits))
+	acc[0], accVal[0] = pow[top], 1<<top
+	for m := 1; m < len(bits)-1; m++ {
+		accVal[m] = accVal[m-1] + 1<<bits[m]
+		acc[m] = add(fmt.Sprintf("A%d=%d", m+1, accVal[m]), accVal[m])
+	}
+	yes := b.AddState("Yes", 1)
+
+	// extend[q] = the accumulator obtained by extending q with its next
+	// needed bit, and the bit's power state.
+	extend := make(map[protocol.State]ext)
+	for m := 0; m+1 < len(bits)-1; m++ {
+		extend[acc[m]] = ext{pow[bits[m+1]], acc[m+1]}
+	}
+
+	value := make(map[protocol.State]int64, len(vs))
+	for _, v := range vs {
+		value[v.st] = v.val
+	}
+
+	// Enumerate every unordered pair and decide its transition.
+	for ai := 0; ai < len(vs); ai++ {
+		for ci := ai; ci < len(vs); ci++ {
+			u, v := vs[ai], vs[ci]
+			switch {
+			case u.val+v.val >= eta:
+				b.AddTransition(u.st, v.st, yes, yes)
+			case u.st == v.st && isPower(u.val) && u.val > 0:
+				b.AddTransition(u.st, v.st, zero, powerState(pow, u.val*2))
+			case extendMatches(extend, u.st, v.st):
+				b.AddTransition(u.st, v.st, zero, extend[u.st].result)
+			case extendMatches(extend, v.st, u.st):
+				b.AddTransition(u.st, v.st, zero, extend[v.st].result)
+			default:
+				b.AddTransition(u.st, v.st, u.st, v.st)
+			}
+		}
+	}
+	for _, v := range vs {
+		b.AddTransition(yes, v.st, yes, yes)
+	}
+	b.AddTransition(yes, yes, yes, yes)
+	b.AddInput("x", pow[0])
+	return Entry{
+		Protocol:      b.MustBuild(),
+		Pred:          pred.NewCounting(eta),
+		MaxExactInput: maxExactForStates(len(vs) + 1),
+	}
+}
+
+func isPower(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+func powerState(pow map[uint]protocol.State, v int64) protocol.State {
+	for i := uint(0); i < 63; i++ {
+		if int64(1)<<i == v {
+			return pow[i]
+		}
+	}
+	panic(fmt.Sprintf("protocols: no power state for %d", v))
+}
+
+func extendMatches(extend map[protocol.State]ext, a, c protocol.State) bool {
+	e, ok := extend[a]
+	return ok && e.nextBit == c
+}
+
+// ext is declared at package scope so extendMatches can name it.
+type ext struct {
+	nextBit protocol.State
+	result  protocol.State
+}
+
+// maxExactForStates picks an exhaustive-verification population bound that
+// keeps |configs| = C(n+d-1, d-1) manageable for d states.
+func maxExactForStates(d int) int64 {
+	switch {
+	case d <= 4:
+		return 14
+	case d <= 6:
+		return 11
+	case d <= 9:
+		return 9
+	case d <= 12:
+		return 7
+	default:
+		return 5
+	}
+}

@@ -1,0 +1,47 @@
+package protocols
+
+// Catalog returns a representative selection of zoo protocols with their
+// specifications, used for table-driven cross-package tests and experiments.
+// All entries are small enough for exhaustive verification up to their
+// MaxExactInput.
+func Catalog() map[string]Entry {
+	return map[string]Entry{
+		"flock(5)":         FlockOfBirds(5),
+		"flock(8)=P_3":     PaperPk(3),
+		"succinct(2)=P'_2": Succinct(2),
+		"succinct(3)=P'_3": Succinct(3),
+		"binary(6)":        BinaryThreshold(6),
+		"binary(7)":        BinaryThreshold(7),
+		"majority":         Majority(),
+		"parity":           Parity(),
+		"mod3∈{1}":         ModuloIn(3, 1),
+		"leader-flock(3)":  LeaderFlock(3),
+		"constant(true)":   Constant(true),
+		"constant(false)":  Constant(false),
+		"flock(3)∧parity":  Product(FlockOfBirds(3), Parity(), OpAnd),
+		"flock(3)∨parity":  Product(FlockOfBirds(3), Parity(), OpOr),
+		"¬parity":          Negate(Parity()),
+		"linear(2x+3y≥7)":  LinearThreshold([]int64{2, 3}, 7),
+		"interval[2,4]":    Interval(2, 4),
+	}
+}
+
+// ThresholdFamilies returns, for a given η, all threshold constructions in
+// the zoo computing x ≥ η, keyed by construction name. Used by experiments
+// comparing state counts (the state-complexity trade-off of Section 2.3).
+func ThresholdFamilies(eta int64) map[string]Entry {
+	out := map[string]Entry{
+		"flock-of-birds": FlockOfBirds(eta),
+		"binary":         BinaryThreshold(eta),
+		"leader-flock":   LeaderFlock(eta),
+	}
+	// The succinct protocol exists only for powers of two.
+	if eta > 0 && eta&(eta-1) == 0 {
+		k := uint(0)
+		for 1<<k < eta {
+			k++
+		}
+		out["succinct"] = Succinct(k)
+	}
+	return out
+}

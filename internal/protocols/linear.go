@@ -1,0 +1,79 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/pred"
+	"repro/internal/protocol"
+)
+
+// LinearThreshold returns a leaderless protocol computing the multi-variable
+// threshold predicate Σ aᵢ·xᵢ ≥ c for positive coefficients aᵢ ≥ 1 and
+// bound c ≥ 1 — the flock-of-birds construction generalised to weighted
+// inputs (the positive-coefficient fragment of the threshold predicates of
+// [8,12]). Each agent carries a value (initially its variable's
+// coefficient, capped at c); values merge pairwise and cap at c, which is
+// the absorbing "yes" state. The total carried value Σ aᵢ·xᵢ is invariant
+// until the cap fires, giving soundness; fairness forces merging until two
+// agents witness the bound, giving completeness. c+1 states.
+func LinearThreshold(coeffs []int64, c int64) Entry {
+	if c < 1 {
+		panic(fmt.Sprintf("protocols: LinearThreshold needs c ≥ 1, got %d", c))
+	}
+	if len(coeffs) == 0 {
+		panic("protocols: LinearThreshold needs at least one variable")
+	}
+	for _, a := range coeffs {
+		if a < 1 {
+			panic(fmt.Sprintf("protocols: LinearThreshold needs positive coefficients, got %d", a))
+		}
+	}
+	b := protocol.NewBuilder(fmt.Sprintf("linear-threshold(%v ≥ %d)", coeffs, c))
+	states := make([]protocol.State, c+1)
+	for v := int64(0); v <= c; v++ {
+		out := 0
+		if v == c {
+			out = 1
+		}
+		states[v] = b.AddState(fmt.Sprintf("%d", v), out)
+	}
+	for u := int64(0); u <= c; u++ {
+		for v := u; v <= c; v++ {
+			if u+v < c {
+				b.AddTransition(states[u], states[v], states[0], states[u+v])
+			} else {
+				b.AddTransition(states[u], states[v], states[c], states[c])
+			}
+		}
+	}
+	for i, a := range coeffs {
+		cap := a
+		if cap > c {
+			cap = c
+		}
+		b.AddInput(fmt.Sprintf("x%d", i), states[cap])
+	}
+	return Entry{
+		Protocol:      b.MustBuild(),
+		Pred:          pred.Threshold{Coeffs: append([]int64(nil), coeffs...), Bound: c},
+		MaxExactInput: maxExactForStates(int(c) + 1),
+	}
+}
+
+// Interval returns a protocol computing the interval predicate
+// lo ≤ x ≤ hi, assembled with the boolean closure constructions:
+// (x ≥ lo) ∧ ¬(x ≥ hi+1), each side a binary-threshold protocol. It
+// demonstrates that the library covers all single-variable threshold
+// combinations, at product-size state cost.
+func Interval(lo, hi int64) Entry {
+	if lo < 1 || hi < lo {
+		panic(fmt.Sprintf("protocols: Interval needs 1 ≤ lo ≤ hi, got [%d,%d]", lo, hi))
+	}
+	e := Product(BinaryThreshold(lo), Negate(BinaryThreshold(hi+1)), OpAnd)
+	// Rebuild the name for readability.
+	e.Pred = pred.And{
+		pred.NewCounting(lo),
+		pred.Not{P: pred.NewCounting(hi + 1)},
+	}
+	return e
+}

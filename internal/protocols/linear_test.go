@@ -1,0 +1,77 @@
+package protocols
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+)
+
+func TestLinearThresholdStructure(t *testing.T) {
+	e := LinearThreshold([]int64{2, 3}, 7)
+	p := e.Protocol
+	if p.NumStates() != 8 {
+		t.Fatalf("states = %d, want 8", p.NumStates())
+	}
+	if p.NumInputs() != 2 {
+		t.Fatalf("inputs = %d, want 2", p.NumInputs())
+	}
+	// Input mapping: x0 starts at value 2, x1 at value 3.
+	s2, _ := p.StateByName("2")
+	s3, _ := p.StateByName("3")
+	if p.InputState(0) != s2 || p.InputState(1) != s3 {
+		t.Fatalf("input mapping wrong: %d %d", p.InputState(0), p.InputState(1))
+	}
+	// Coefficients above the bound are capped.
+	big := LinearThreshold([]int64{10}, 4)
+	s4, _ := big.Protocol.StateByName("4")
+	if big.Protocol.InputState(0) != s4 {
+		t.Fatal("coefficient should cap at c")
+	}
+	// Predicate.
+	if !e.Pred.Eval(multiset.Vec{2, 1}) { // 2·2+3·1 = 7 ≥ 7
+		t.Fatal("pred(2,1) should hold")
+	}
+	if e.Pred.Eval(multiset.Vec{3, 0}) { // 6 < 7
+		t.Fatal("pred(3,0) should not hold")
+	}
+}
+
+func TestLinearThresholdPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero bound":     func() { LinearThreshold([]int64{1}, 0) },
+		"no vars":        func() { LinearThreshold(nil, 3) },
+		"zero coeff":     func() { LinearThreshold([]int64{0}, 3) },
+		"negative coeff": func() { LinearThreshold([]int64{-1}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIntervalStructure(t *testing.T) {
+	e := Interval(2, 4)
+	// 2 ≤ x ≤ 4.
+	for x, want := range map[int64]bool{2: true, 3: true, 4: true, 5: false, 6: false} {
+		if got := e.Pred.Eval(multiset.Vec{x}); got != want {
+			t.Errorf("interval pred(%d) = %t, want %t", x, got, want)
+		}
+	}
+	if e.Protocol.NumInputs() != 1 {
+		t.Fatal("interval is single-input")
+	}
+}
+
+func TestIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Interval(3,2) should panic")
+		}
+	}()
+	Interval(3, 2)
+}

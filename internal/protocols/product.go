@@ -1,0 +1,148 @@
+package protocols
+
+import (
+	"fmt"
+
+	"repro/internal/pred"
+	"repro/internal/protocol"
+)
+
+// Product combines two leaderless protocols over the same number of input
+// variables into one that runs both in lockstep and outputs op of their
+// outputs — the classic closure construction of Angluin et al. [8] showing
+// that computable predicates are closed under boolean combinations. The
+// product has |Q1|·|Q2| states. Both orientations of each component
+// transition are included, so the product may be nondeterministic even if
+// the components are deterministic.
+func Product(e1, e2 Entry, op BoolOp) Entry {
+	p1, p2 := e1.Protocol, e2.Protocol
+	if !p1.Leaderless() || !p2.Leaderless() {
+		panic("protocols: Product requires leaderless components")
+	}
+	if p1.NumInputs() != p2.NumInputs() {
+		panic(fmt.Sprintf("protocols: Product input arity mismatch %d vs %d",
+			p1.NumInputs(), p2.NumInputs()))
+	}
+	n1, n2 := p1.NumStates(), p2.NumStates()
+	b := protocol.NewBuilder(fmt.Sprintf("(%s %s %s)", p1.Name(), op, p2.Name()))
+	id := func(q1, q2 protocol.State) protocol.State {
+		return protocol.State(int(q1)*n2 + int(q2))
+	}
+	for q1 := protocol.State(0); int(q1) < n1; q1++ {
+		for q2 := protocol.State(0); int(q2) < n2; q2++ {
+			name := p1.StateName(q1) + "|" + p2.StateName(q2)
+			b.AddState(name, op.Apply(p1.Output(q1), p2.Output(q2)))
+		}
+	}
+	// For each unordered product pair, combine each component transition in
+	// both orientations.
+	for a := 0; a < n1*n2; a++ {
+		for c := a; c < n1*n2; c++ {
+			u1, u2 := protocol.State(a/n2), protocol.State(a%n2)
+			v1, v2 := protocol.State(c/n2), protocol.State(c%n2)
+			for _, t1i := range p1.TransitionsForPair(u1, v1) {
+				t1 := p1.Transition(t1i)
+				for _, t2i := range p2.TransitionsForPair(u2, v2) {
+					t2 := p2.Transition(t2i)
+					// Each component transition admits two orientations of
+					// its post pair; enumerate all four combinations.
+					for _, o1 := range [2][2]protocol.State{{t1.P2, t1.Q2}, {t1.Q2, t1.P2}} {
+						for _, o2 := range [2][2]protocol.State{{t2.P2, t2.Q2}, {t2.Q2, t2.P2}} {
+							b.AddTransition(
+								protocol.State(a), protocol.State(c),
+								id(o1[0], o2[0]), id(o1[1], o2[1]),
+							)
+						}
+					}
+				}
+			}
+		}
+	}
+	names := p1.InputNames()
+	for x := 0; x < p1.NumInputs(); x++ {
+		b.AddInput(names[x], id(p1.InputState(x), p2.InputState(x)))
+	}
+	var phi pred.Pred
+	switch op {
+	case OpAnd:
+		phi = pred.And{e1.Pred, e2.Pred}
+	case OpOr:
+		phi = pred.Or{e1.Pred, e2.Pred}
+	default:
+		panic(fmt.Sprintf("protocols: unknown op %v", op))
+	}
+	return Entry{
+		Protocol:      b.MustBuild(),
+		Pred:          phi,
+		MaxExactInput: maxExactForStates(n1 * n2),
+	}
+}
+
+// BoolOp is a binary boolean connective for Product.
+type BoolOp int
+
+// The supported connectives. Negation is provided separately by Negate;
+// together they generate all boolean combinations.
+const (
+	OpAnd BoolOp = iota + 1
+	OpOr
+)
+
+// Apply evaluates the connective on two outputs in {0,1}.
+func (op BoolOp) Apply(b1, b2 int) int {
+	switch op {
+	case OpAnd:
+		if b1 == 1 && b2 == 1 {
+			return 1
+		}
+		return 0
+	case OpOr:
+		if b1 == 1 || b2 == 1 {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("protocols: unknown op %d", op))
+	}
+}
+
+// String renders the connective.
+func (op BoolOp) String() string {
+	switch op {
+	case OpAnd:
+		return "∧"
+	case OpOr:
+		return "∨"
+	default:
+		return fmt.Sprintf("BoolOp(%d)", int(op))
+	}
+}
+
+// Negate returns the protocol with all outputs flipped, computing ¬ϕ. The
+// transition structure is unchanged, so all reachability properties are
+// preserved.
+func Negate(e Entry) Entry {
+	p := e.Protocol
+	b := protocol.NewBuilder("¬" + p.Name())
+	for q := protocol.State(0); int(q) < p.NumStates(); q++ {
+		b.AddState(p.StateName(q), 1-p.Output(q))
+	}
+	for _, t := range p.Transitions() {
+		b.AddTransition(t.P, t.Q, t.P2, t.Q2)
+	}
+	leaders := p.Leaders()
+	for q, n := range leaders {
+		if n > 0 {
+			b.AddLeader(protocol.State(q), n)
+		}
+	}
+	names := p.InputNames()
+	for x := 0; x < p.NumInputs(); x++ {
+		b.AddInput(names[x], p.InputState(x))
+	}
+	return Entry{
+		Protocol:      b.MustBuild(),
+		Pred:          pred.Not{P: e.Pred},
+		MaxExactInput: e.MaxExactInput,
+	}
+}

@@ -1,0 +1,370 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+func TestFlockOfBirdsStructure(t *testing.T) {
+	for _, eta := range []int64{1, 2, 5, 8} {
+		e := FlockOfBirds(eta)
+		p := e.Protocol
+		if got := int64(p.NumStates()); got != eta+1 {
+			t.Errorf("flock(%d): %d states, want %d", eta, got, eta+1)
+		}
+		if !p.Leaderless() {
+			t.Errorf("flock(%d) must be leaderless", eta)
+		}
+		if !p.Deterministic() {
+			t.Errorf("flock(%d) must be deterministic", eta)
+		}
+		// Simulate the doubling chain by hand: two agents at η/2 (if η even)
+		// meet and trigger the cap.
+		if eta >= 2 && eta%2 == 0 {
+			half, ok := p.StateByName(formatInt(eta / 2))
+			if !ok {
+				t.Fatalf("flock(%d): missing state %d", eta, eta/2)
+			}
+			c := multiset.New(p.NumStates())
+			c[half] = 2
+			ts := p.TransitionsForPair(half, half)
+			if len(ts) != 1 {
+				t.Fatalf("flock(%d): want 1 transition for half pair", eta)
+			}
+			c2 := p.Fire(c, ts[0])
+			etaSt, _ := p.StateByName(formatInt(eta))
+			if c2[etaSt] != 2 {
+				t.Errorf("flock(%d): half+half should cap to η, got %s", eta, p.FormatConfig(c2))
+			}
+		}
+	}
+}
+
+func TestPaperPkMatchesExample21(t *testing.T) {
+	// P_k has 2^k + 1 states (Example 2.1).
+	for k := uint(0); k <= 4; k++ {
+		e := PaperPk(k)
+		want := (1 << k) + 1
+		if got := e.Protocol.NumStates(); got != want {
+			t.Errorf("P_%d: %d states, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSuccinctStructure(t *testing.T) {
+	// P'_k has k + 2 states (the paper counts k+1 by identifying 2^0's
+	// role; the explicit state set {0, 2^0, ..., 2^k} has k+2 elements).
+	for k := uint(0); k <= 6; k++ {
+		e := Succinct(k)
+		p := e.Protocol
+		if got := p.NumStates(); got != int(k)+2 {
+			t.Errorf("P'_%d: %d states, want %d", k, got, int(k)+2)
+		}
+		if !p.Leaderless() {
+			t.Errorf("P'_%d must be leaderless", k)
+		}
+	}
+	// Doubling chain: 2^i, 2^i ↦ 0, 2^(i+1).
+	e := Succinct(3)
+	p := e.Protocol
+	s1, _ := p.StateByName("2^1")
+	s2, _ := p.StateByName("2^2")
+	zero, _ := p.StateByName("0")
+	c := multiset.New(p.NumStates())
+	c[s1] = 2
+	var fired protocol.Config
+	for _, ti := range p.TransitionsForPair(s1, s1) {
+		if !p.Transition(ti).IsIdentity() {
+			fired = p.Fire(c, ti)
+		}
+	}
+	if fired == nil || fired[s2] != 1 || fired[zero] != 1 {
+		t.Errorf("2^1,2^1 ↦ 0,2^2 failed: %v", fired)
+	}
+}
+
+func TestBinaryThresholdStructure(t *testing.T) {
+	tests := []struct {
+		eta       int64
+		maxStates int
+	}{
+		{1, 3},  // 0, 2^0, Yes
+		{2, 4},  // 0, 2^0, 2^1, Yes
+		{7, 6},  // 0, 2^0..2^2, Yes (A2 would be 6, but 4+2 ≥ 7 triggers Yes... see below)
+		{21, 9}, // 0, 2^0..2^4, A2=20, Yes
+		{100, 11},
+		{1024, 13},
+	}
+	for _, tc := range tests {
+		e := BinaryThreshold(tc.eta)
+		n := e.Protocol.NumStates()
+		if n > tc.maxStates {
+			t.Errorf("binary(%d): %d states, want ≤ %d", tc.eta, n, tc.maxStates)
+		}
+		if !e.Protocol.Leaderless() {
+			t.Errorf("binary(%d) must be leaderless", tc.eta)
+		}
+	}
+	// State count grows logarithmically: 2·log2(η) + 3 is a generous cap.
+	for _, eta := range []int64{3, 9, 33, 129, 1025, 40000} {
+		e := BinaryThreshold(eta)
+		cap := 2*log2ceil(eta) + 3
+		if n := e.Protocol.NumStates(); int64(n) > cap {
+			t.Errorf("binary(%d): %d states exceeds 2·log2+3 = %d", eta, n, cap)
+		}
+	}
+}
+
+func TestBinaryThresholdValueConservation(t *testing.T) {
+	// Until a Yes appears, every transition conserves the total carried
+	// value — the soundness invariant of the construction.
+	e := BinaryThreshold(21)
+	p := e.Protocol
+	value := make([]int64, p.NumStates())
+	yes := protocol.State(-1)
+	for q := 0; q < p.NumStates(); q++ {
+		name := p.StateName(protocol.State(q))
+		switch {
+		case name == "Yes":
+			yes = protocol.State(q)
+		case name == "0":
+			value[q] = 0
+		case strings.HasPrefix(name, "2^"):
+			value[q] = 1 << atoi(t, name[2:])
+		case strings.HasPrefix(name, "A"):
+			// Format "Am=v".
+			value[q] = atoi(t, name[strings.Index(name, "=")+1:])
+		default:
+			t.Fatalf("unexpected state name %q", name)
+		}
+	}
+	if yes < 0 {
+		t.Fatal("no Yes state")
+	}
+	for i := 0; i < p.NumTransitions(); i++ {
+		tr := p.Transition(i)
+		if tr.P2 == yes || tr.Q2 == yes || tr.P == yes || tr.Q == yes {
+			continue
+		}
+		pre := value[tr.P] + value[tr.Q]
+		post := value[tr.P2] + value[tr.Q2]
+		if pre != post {
+			t.Errorf("transition %s does not conserve value: %d → %d",
+				p.FormatTransition(tr), pre, post)
+		}
+	}
+}
+
+func TestBinaryThresholdYesRequiresEta(t *testing.T) {
+	// Any transition producing Yes from non-Yes states must have
+	// pre-value ≥ η (soundness of the sum rule).
+	for _, eta := range []int64{3, 7, 21, 100} {
+		e := BinaryThreshold(eta)
+		p := e.Protocol
+		yes, _ := p.StateByName("Yes")
+		for i := 0; i < p.NumTransitions(); i++ {
+			tr := p.Transition(i)
+			if tr.P == yes || tr.Q == yes {
+				continue // conversion rule, fine
+			}
+			if tr.P2 != yes && tr.Q2 != yes {
+				continue
+			}
+			pre := stateValue(t, p, tr.P) + stateValue(t, p, tr.Q)
+			if pre < eta {
+				t.Errorf("binary(%d): %s creates Yes from value %d < η",
+					eta, p.FormatTransition(tr), pre)
+			}
+		}
+	}
+}
+
+func TestMajorityStructure(t *testing.T) {
+	e := Majority()
+	if e.Protocol.NumStates() != 4 {
+		t.Fatalf("majority has %d states, want 4", e.Protocol.NumStates())
+	}
+	if e.Protocol.NumInputs() != 2 {
+		t.Fatalf("majority has %d inputs, want 2", e.Protocol.NumInputs())
+	}
+}
+
+func TestModuloStructure(t *testing.T) {
+	e := ModuloIn(5, 2, 4)
+	if e.Protocol.NumStates() != 7 {
+		t.Fatalf("mod5: %d states, want 7", e.Protocol.NumStates())
+	}
+	// m = 1: x mod 1 = 0 always; the predicate is constant.
+	one := ModuloIn(1, 0)
+	if !one.Pred.Eval(multiset.Vec{17}) {
+		t.Fatal("x ≡ 0 mod 1 must hold")
+	}
+}
+
+func TestLeaderFlockStructure(t *testing.T) {
+	e := LeaderFlock(3)
+	p := e.Protocol
+	if p.Leaderless() {
+		t.Fatal("leader-flock must have a leader")
+	}
+	if p.NumLeaders() != 1 {
+		t.Fatalf("NumLeaders = %d", p.NumLeaders())
+	}
+	ic := p.InitialConfigN(5)
+	if ic.Size() != 6 { // 5 inputs + 1 leader
+		t.Fatalf("|IC(5)| = %d, want 6", ic.Size())
+	}
+}
+
+func TestProductStructureAndOutputs(t *testing.T) {
+	e := Product(FlockOfBirds(3), Parity(), OpAnd)
+	p := e.Protocol
+	if p.NumStates() != 4*4 {
+		t.Fatalf("product states = %d, want 16", p.NumStates())
+	}
+	// Output of product state is AND of component outputs.
+	q, ok := p.StateByName("3|V1")
+	if !ok {
+		t.Fatal("missing product state 3|V1")
+	}
+	if p.Output(q) != 1 {
+		t.Error("3|V1 should output 1 (3 ≥ 3 and V1 odd)")
+	}
+	q2, _ := p.StateByName("3|V0")
+	if p.Output(q2) != 0 {
+		t.Error("3|V0 should output 0 under AND")
+	}
+	or := Product(FlockOfBirds(3), Parity(), OpOr)
+	q3, _ := or.Protocol.StateByName("0|V1")
+	if or.Protocol.Output(q3) != 1 {
+		t.Error("0|V1 should output 1 under OR")
+	}
+}
+
+func TestProductPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Product with leader component should panic")
+		}
+	}()
+	Product(LeaderFlock(2), Parity(), OpAnd)
+}
+
+func TestNegate(t *testing.T) {
+	e := Negate(Parity())
+	p := e.Protocol
+	v1, _ := p.StateByName("V1")
+	if p.Output(v1) != 0 {
+		t.Error("negated V1 should output 0")
+	}
+	if !e.Pred.Eval(multiset.Vec{2}) || e.Pred.Eval(multiset.Vec{3}) {
+		t.Error("negated parity predicate wrong")
+	}
+	// Double negation restores outputs.
+	ee := Negate(e)
+	if ee.Protocol.Output(v1) != 1 {
+		t.Error("double negation should restore output")
+	}
+}
+
+func TestCatalogEntriesWellFormed(t *testing.T) {
+	for name, e := range Catalog() {
+		if e.Protocol == nil || e.Pred == nil {
+			t.Errorf("%s: incomplete entry", name)
+			continue
+		}
+		if e.Protocol.NumInputs() != e.Pred.Arity() {
+			t.Errorf("%s: protocol arity %d != predicate arity %d",
+				name, e.Protocol.NumInputs(), e.Pred.Arity())
+		}
+		if e.MaxExactInput < 2 {
+			t.Errorf("%s: MaxExactInput = %d too small", name, e.MaxExactInput)
+		}
+	}
+}
+
+func TestThresholdFamilies(t *testing.T) {
+	fams := ThresholdFamilies(8)
+	if _, ok := fams["succinct"]; !ok {
+		t.Error("η=8 should include the succinct family")
+	}
+	fams = ThresholdFamilies(6)
+	if _, ok := fams["succinct"]; ok {
+		t.Error("η=6 is not a power of two")
+	}
+	for name, e := range fams {
+		if e.Protocol == nil {
+			t.Errorf("%s: nil protocol", name)
+		}
+	}
+}
+
+func TestConstructorsPanicOnBadArgs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"flock(0)":  func() { FlockOfBirds(0) },
+		"binary(0)": func() { BinaryThreshold(0) },
+		"leader(0)": func() { LeaderFlock(0) },
+		"modulo(0)": func() { ModuloIn(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Helpers.
+
+func formatInt(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}
+
+func atoi(t *testing.T, s string) int64 {
+	t.Helper()
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("atoi(%q)", s)
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v
+}
+
+func stateValue(t *testing.T, p *protocol.Protocol, q protocol.State) int64 {
+	t.Helper()
+	name := p.StateName(q)
+	switch {
+	case name == "0":
+		return 0
+	case strings.HasPrefix(name, "2^"):
+		return 1 << atoi(t, name[2:])
+	case strings.HasPrefix(name, "A"):
+		return atoi(t, name[strings.Index(name, "=")+1:])
+	}
+	t.Fatalf("no value for state %q", name)
+	return 0
+}
+
+func log2ceil(v int64) int64 {
+	var k int64
+	for int64(1)<<k < v {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,100 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FromName builds a zoo protocol from a compact spec string, used by the
+// command line tools:
+//
+//	flock:η         flock-of-birds for x ≥ η
+//	succinct:k      P'_k for x ≥ 2^k
+//	binary:η        logarithmic-state threshold for x ≥ η
+//	leaderflock:η   one-leader threshold for x ≥ η
+//	majority        4-state majority (two inputs)
+//	parity          x odd
+//	mod:m:r[,r...]  x mod m ∈ {r, ...}
+//	true | false    constant predicates
+func FromName(spec string) (Entry, error) {
+	parts := strings.Split(spec, ":")
+	arg := func(i int) (int64, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("protocols: spec %q needs an argument", spec)
+		}
+		v, err := strconv.ParseInt(parts[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("protocols: spec %q: %w", spec, err)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "flock":
+		eta, err := arg(1)
+		if err != nil {
+			return Entry{}, err
+		}
+		if eta < 1 {
+			return Entry{}, fmt.Errorf("protocols: flock needs η ≥ 1")
+		}
+		return FlockOfBirds(eta), nil
+	case "succinct":
+		k, err := arg(1)
+		if err != nil {
+			return Entry{}, err
+		}
+		if k < 0 || k > 40 {
+			return Entry{}, fmt.Errorf("protocols: succinct needs 0 ≤ k ≤ 40")
+		}
+		return Succinct(uint(k)), nil
+	case "binary":
+		eta, err := arg(1)
+		if err != nil {
+			return Entry{}, err
+		}
+		if eta < 1 {
+			return Entry{}, fmt.Errorf("protocols: binary needs η ≥ 1")
+		}
+		return BinaryThreshold(eta), nil
+	case "leaderflock":
+		eta, err := arg(1)
+		if err != nil {
+			return Entry{}, err
+		}
+		if eta < 1 {
+			return Entry{}, fmt.Errorf("protocols: leaderflock needs η ≥ 1")
+		}
+		return LeaderFlock(eta), nil
+	case "majority":
+		return Majority(), nil
+	case "parity":
+		return Parity(), nil
+	case "true":
+		return Constant(true), nil
+	case "false":
+		return Constant(false), nil
+	case "mod":
+		m, err := arg(1)
+		if err != nil {
+			return Entry{}, err
+		}
+		if m < 1 {
+			return Entry{}, fmt.Errorf("protocols: mod needs m ≥ 1")
+		}
+		if len(parts) < 3 {
+			return Entry{}, fmt.Errorf("protocols: mod needs residues, e.g. mod:3:1")
+		}
+		var rs []int64
+		for _, s := range strings.Split(parts[2], ",") {
+			r, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return Entry{}, fmt.Errorf("protocols: bad residue %q: %w", s, err)
+			}
+			rs = append(rs, r)
+		}
+		return ModuloIn(m, rs...), nil
+	default:
+		return Entry{}, fmt.Errorf("protocols: unknown spec %q (try flock:5, succinct:3, binary:7, majority, parity, mod:3:1, leaderflock:4)", spec)
+	}
+}

@@ -1,0 +1,52 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromNameValid(t *testing.T) {
+	tests := []struct {
+		spec   string
+		states int
+		inputs int
+	}{
+		{"flock:5", 6, 1},
+		{"succinct:3", 5, 1},
+		{"binary:7", 6, 1},
+		{"leaderflock:2", 5, 1},
+		{"majority", 4, 2},
+		{"parity", 4, 1},
+		{"mod:3:1", 5, 1},
+		{"mod:5:1,4", 7, 1},
+		{"true", 1, 1},
+		{"false", 1, 1},
+	}
+	for _, tc := range tests {
+		e, err := FromName(tc.spec)
+		if err != nil {
+			t.Errorf("FromName(%q): %v", tc.spec, err)
+			continue
+		}
+		if got := e.Protocol.NumStates(); got != tc.states {
+			t.Errorf("%q: %d states, want %d", tc.spec, got, tc.states)
+		}
+		if got := e.Protocol.NumInputs(); got != tc.inputs {
+			t.Errorf("%q: %d inputs, want %d", tc.spec, got, tc.inputs)
+		}
+	}
+}
+
+func TestFromNameInvalid(t *testing.T) {
+	for _, spec := range []string{
+		"", "nonsense", "flock", "flock:x", "flock:0", "succinct:99",
+		"binary:-1", "mod:0:1", "mod:3", "mod:3:x", "leaderflock:abc",
+	} {
+		if _, err := FromName(spec); err == nil {
+			t.Errorf("FromName(%q) should fail", spec)
+		}
+	}
+	if _, err := FromName("zzz"); err == nil || !strings.Contains(err.Error(), "unknown spec") {
+		t.Errorf("unknown spec error should hint at valid specs: %v", err)
+	}
+}

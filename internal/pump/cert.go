@@ -1,0 +1,152 @@
+// Package pump turns the paper's two pumping arguments into executable,
+// machine-checkable certificates:
+//
+//   - ChainCertificate implements Lemma 4.1/4.2 and the Theorem 4.5 proof
+//     skeleton (valid for protocols with or without leaders): a chain of
+//     stable configurations C_2, C_3, ... with C_i + x →* C_(i+1), a
+//     Dickson-comparable pair C_a ≤ C_(a+b) inside one ideal (B,S) of SC,
+//     and the derived pump IC(a+λb) →* C_a + λ·Db.
+//
+//   - LeaderlessCertificate implements Lemma 5.2 with the Section 5.3–5.5
+//     ingredients: a saturated configuration D reachable from IC(a), a
+//     stable decomposition B + Da reached from D, and a small potentially
+//     realisable θ (Corollary 5.7) whose witness Db is 0-concentrated in S,
+//     giving the pump IC(a+λb) →* B + Da + λ·Db.
+//
+// In both cases the semantic conclusion is: *if* the protocol computes
+// x ≥ η for some η, then η ≤ a — because the certificate exhibits stable
+// consensus configurations of one common output for the infinite input
+// family {a + λb : λ ≥ 0}, and a threshold between a and ∞ would force the
+// outputs to differ across the family. Finders search for certificates;
+// checkers validate them from scratch with exact arithmetic (replay every
+// path, re-derive every membership), so a bug in the finder cannot produce
+// an accepted-but-wrong certificate.
+package pump
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+	"repro/internal/realise"
+	"repro/internal/stable"
+)
+
+// Errors shared by the checkers.
+var (
+	ErrBadCertificate = errors.New("pump: certificate invalid")
+)
+
+// ChainCertificate is the Lemma 4.1/4.2 certificate (general protocols).
+type ChainCertificate struct {
+	// A and B with B ≥ 1: the certified family is {A + λB : λ ≥ 0};
+	// conclusion η ≤ A.
+	A, B int64
+	// Ca is the stable configuration with IC(A) →* Ca, and Cb = Ca + Db the
+	// one with Ca + B·x →* Cb; Ca ≤ Cb (the Dickson pair).
+	Ca, Cb multiset.Vec
+	// S is the ω-coordinate set of the common ideal; Db := Cb − Ca must be
+	// supported by S and the ideal (Ca off S, ω on S) must lie inside SC.
+	S map[int]bool
+	// PathToCa is an explicit transition sequence from IC(A) to Ca.
+	PathToCa []int
+	// PathCaToCb is an explicit transition sequence from Ca + B·x to Cb.
+	PathCaToCb []int
+}
+
+// Db returns Cb − Ca.
+func (c *ChainCertificate) Db() multiset.Vec { return c.Cb.Sub(c.Ca) }
+
+// LeaderlessCertificate is the Lemma 5.2 certificate.
+type LeaderlessCertificate struct {
+	// A and B with B ≥ 1: conclusion η ≤ A.
+	A, B int64
+	// PathToD is an explicit sequence IC(A) →* D (the scaled Lemma 5.4
+	// saturation sequence).
+	PathToD []int
+	// D is the reached saturated configuration; it must be 2|Theta|-
+	// saturated.
+	D multiset.Vec
+	// PathToStable is an explicit sequence D →* Stable.
+	PathToStable []int
+	// Stable = Base + Da is the stable configuration, decomposed against
+	// the ideal (Base, S) of SC with Da ∈ ℕ^S.
+	Stable multiset.Vec
+	Base   multiset.Vec
+	S      map[int]bool
+	Da     multiset.Vec
+	// Theta is the potentially realisable multiset with IC(B) ==θ⇒ Db.
+	Theta realise.TransitionMultiset
+	// Db ∈ ℕ^S is Theta's witness configuration.
+	Db multiset.Vec
+}
+
+// thetaSequence expands a transition multiset into a concrete sequence
+// (ordered by transition index; by Lemma 5.1(ii) any order fires from a
+// 2|θ|-saturated configuration).
+func thetaSequence(theta realise.TransitionMultiset) []int {
+	idxs := make([]int, 0, len(theta))
+	for t := range theta {
+		idxs = append(idxs, t)
+	}
+	sort.Ints(idxs)
+	var out []int
+	for _, t := range idxs {
+		for k := int64(0); k < theta[t]; k++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// replay fires steps from a copy of c, validating enabledness.
+func replay(p *protocol.Protocol, c multiset.Vec, steps []int) (multiset.Vec, error) {
+	out := c.Clone()
+	for k, t := range steps {
+		if t < 0 || t >= p.NumTransitions() {
+			return nil, fmt.Errorf("%w: bad transition index %d at step %d", ErrBadCertificate, t, k)
+		}
+		if !p.Enabled(out, t) {
+			return nil, fmt.Errorf("%w: transition %s disabled at step %d",
+				ErrBadCertificate, p.FormatTransition(p.Transition(t)), k)
+		}
+		p.FireInPlace(out, t)
+	}
+	return out, nil
+}
+
+// idealInsideSC verifies that the ideal {C : C(q) ≤ base(q) for q ∉ S} lies
+// entirely inside SC = SC_0 ∪ SC_1, using a fresh stable-set analysis: the
+// ideal misses SC iff it intersects U_0 ∩ U_1, and it intersects an
+// upward-closed set iff one of the set's minimal elements fits under the
+// ideal's finite caps.
+func idealInsideSC(a *stable.Analysis, base multiset.Vec, s map[int]bool) error {
+	both := a.Unstable(0).Intersect(a.Unstable(1))
+	for _, m := range both.MinBasis() {
+		inside := true
+		for q, v := range m {
+			if !s[q] && v > base[q] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return fmt.Errorf("%w: ideal (B=%v, S=%v) contains unstable configuration ≥ %v",
+				ErrBadCertificate, base, s, m)
+		}
+	}
+	return nil
+}
+
+// sharedOutput returns the common output of the populated states of c, or
+// an error if outputs mix (a configuration inside SC always has a defined
+// output).
+func sharedOutput(p *protocol.Protocol, c multiset.Vec) (int, error) {
+	b, ok := p.OutputOf(c)
+	if !ok {
+		return -1, fmt.Errorf("%w: configuration %s has undefined output", ErrBadCertificate, p.FormatConfig(c))
+	}
+	return b, nil
+}

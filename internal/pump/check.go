@@ -1,0 +1,242 @@
+package pump
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+	"repro/internal/realise"
+	"repro/internal/stable"
+)
+
+// pumpReplayRounds is how many λ values beyond the certificate's own data
+// the checkers re-execute explicitly.
+const pumpReplayRounds = 3
+
+// checkDims validates that every certificate vector matches the protocol's
+// state count and every set/multiset key is a valid index — certificates
+// may come from files and must never panic the checker.
+func checkDims(p *protocol.Protocol, vecs map[string]multiset.Vec, s map[int]bool) error {
+	d := p.NumStates()
+	for name, v := range vecs {
+		if v.Dim() != d {
+			return fmt.Errorf("%w: %s has dimension %d, protocol has %d states",
+				ErrBadCertificate, name, v.Dim(), d)
+		}
+	}
+	for q := range s {
+		if q < 0 || q >= d {
+			return fmt.Errorf("%w: S contains state %d out of range [0,%d)", ErrBadCertificate, q, d)
+		}
+	}
+	return nil
+}
+
+// CheckChain validates a ChainCertificate from scratch. On success, the
+// certificate proves: if the protocol computes x ≥ η for some η, then
+// η ≤ cert.A.
+func CheckChain(p *protocol.Protocol, cert *ChainCertificate, a *stable.Analysis) error {
+	if p.NumInputs() != 1 {
+		return fmt.Errorf("%w: chain certificates need a single input variable", ErrBadCertificate)
+	}
+	if cert.B < 1 {
+		return fmt.Errorf("%w: pump step B = %d must be ≥ 1", ErrBadCertificate, cert.B)
+	}
+	if cert.A < 2 {
+		return fmt.Errorf("%w: A = %d must be ≥ 2", ErrBadCertificate, cert.A)
+	}
+	if err := checkDims(p, map[string]multiset.Vec{"Ca": cert.Ca, "Cb": cert.Cb}, cert.S); err != nil {
+		return err
+	}
+	var err error
+	if a == nil {
+		a, err = stable.Analyze(p, stable.Options{})
+		if err != nil {
+			return fmt.Errorf("pump: recomputing stable sets: %w", err)
+		}
+	}
+	// Shape: Db = Cb − Ca ∈ ℕ^S; Ca ≤ Cb.
+	if !cert.Ca.Le(cert.Cb) {
+		return fmt.Errorf("%w: Ca ≰ Cb", ErrBadCertificate)
+	}
+	db := cert.Db()
+	if !db.SupportedBy(cert.S) {
+		return fmt.Errorf("%w: Db = %v not supported by S", ErrBadCertificate, db)
+	}
+	// The ideal (Ca off S, ω on S) must lie inside SC.
+	base := cert.Ca.Clone()
+	for q := range base {
+		if cert.S[q] {
+			base[q] = 0
+		}
+	}
+	if err := idealInsideSC(a, base, cert.S); err != nil {
+		return err
+	}
+	// All pumped configurations share Ca's populated states, so one common
+	// output b*; a computed threshold η > A would demand output 0 at A and
+	// output 1 at A + λB for large λ — impossible. (We don't need b* itself,
+	// only that it is defined.)
+	if _, err := sharedOutput(p, cert.Ca); err != nil {
+		return err
+	}
+	// Replay IC(A) →* Ca.
+	got, err := replay(p, p.InitialConfigN(cert.A), cert.PathToCa)
+	if err != nil {
+		return fmt.Errorf("replaying IC(A) →* Ca: %w", err)
+	}
+	if !got.Equal(cert.Ca) {
+		return fmt.Errorf("%w: IC(A) path reaches %s, want Ca = %s",
+			ErrBadCertificate, p.FormatConfig(got), p.FormatConfig(cert.Ca))
+	}
+	// Replay Ca + B·x →* Cb.
+	start := cert.Ca.Clone()
+	start[p.InputState(0)] += cert.B
+	got, err = replay(p, start, cert.PathCaToCb)
+	if err != nil {
+		return fmt.Errorf("replaying Ca + B·x →* Cb: %w", err)
+	}
+	if !got.Equal(cert.Cb) {
+		return fmt.Errorf("%w: pump path reaches %s, want Cb = %s",
+			ErrBadCertificate, p.FormatConfig(got), p.FormatConfig(cert.Cb))
+	}
+	// Explicitly replay the pumped family for a few λ:
+	// IC(A+λB) → Ca + λB·x → Ca + (λ−1)B·x + Db → ... → Ca + λ·Db.
+	for lambda := int64(1); lambda <= pumpReplayRounds; lambda++ {
+		c := p.InitialConfigN(cert.A + lambda*cert.B)
+		c, err = replay(p, c, cert.PathToCa)
+		if err != nil {
+			return fmt.Errorf("pump λ=%d (to Ca): %w", lambda, err)
+		}
+		for l := int64(0); l < lambda; l++ {
+			c, err = replay(p, c, cert.PathCaToCb)
+			if err != nil {
+				return fmt.Errorf("pump λ=%d (round %d): %w", lambda, l, err)
+			}
+		}
+		want := cert.Ca.AddScaled(lambda, db)
+		if !c.Equal(want) {
+			return fmt.Errorf("%w: pump λ=%d reached %s, want %s",
+				ErrBadCertificate, lambda, p.FormatConfig(c), p.FormatConfig(want))
+		}
+		// The pumped configuration must still lie in the certified ideal.
+		for q, v := range c {
+			if !cert.S[q] && v > base[q] {
+				return fmt.Errorf("%w: pumped configuration leaves the ideal at state %d", ErrBadCertificate, q)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLeaderless validates a LeaderlessCertificate from scratch. On
+// success: if the protocol computes x ≥ η for some η, then η ≤ cert.A.
+func CheckLeaderless(p *protocol.Protocol, cert *LeaderlessCertificate, a *stable.Analysis) error {
+	if !p.Leaderless() {
+		return fmt.Errorf("%w: protocol has leaders", ErrBadCertificate)
+	}
+	if p.NumInputs() != 1 {
+		return fmt.Errorf("%w: need a single input variable", ErrBadCertificate)
+	}
+	if cert.B < 1 {
+		return fmt.Errorf("%w: pump step B = %d must be ≥ 1", ErrBadCertificate, cert.B)
+	}
+	if err := checkDims(p, map[string]multiset.Vec{
+		"D": cert.D, "Stable": cert.Stable, "Base": cert.Base,
+		"Da": cert.Da, "Db": cert.Db,
+	}, cert.S); err != nil {
+		return err
+	}
+	for t := range cert.Theta {
+		if t < 0 || t >= p.NumTransitions() {
+			return fmt.Errorf("%w: θ uses transition %d out of range", ErrBadCertificate, t)
+		}
+	}
+	var err error
+	if a == nil {
+		a, err = stable.Analyze(p, stable.Options{})
+		if err != nil {
+			return fmt.Errorf("pump: recomputing stable sets: %w", err)
+		}
+	}
+	// Shape checks.
+	if !cert.Base.Add(cert.Da).Equal(cert.Stable) {
+		return fmt.Errorf("%w: Base + Da ≠ Stable", ErrBadCertificate)
+	}
+	if !cert.Da.SupportedBy(cert.S) || !cert.Db.SupportedBy(cert.S) {
+		return fmt.Errorf("%w: Da or Db not supported by S", ErrBadCertificate)
+	}
+	for q := range cert.Base {
+		if cert.S[q] && cert.Base[q] != 0 {
+			return fmt.Errorf("%w: Base must vanish on S", ErrBadCertificate)
+		}
+	}
+	if err := idealInsideSC(a, cert.Base, cert.S); err != nil {
+		return err
+	}
+	if _, err := sharedOutput(p, cert.Stable); err != nil {
+		return err
+	}
+	// θ's potential realisability and witness: Db = IC(B) + Δθ ≥ 0.
+	ok, err := realise.IsPotentiallyRealisable(p, cert.Theta)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: θ is not potentially realisable", ErrBadCertificate)
+	}
+	wantDb := p.InitialConfigN(cert.B).Add(cert.Theta.Displacement(p))
+	if !wantDb.IsNatural() || !wantDb.Equal(cert.Db) {
+		return fmt.Errorf("%w: IC(B) + Δθ = %v ≠ Db = %v", ErrBadCertificate, wantDb, cert.Db)
+	}
+	// Saturation: D must be 2|θ|-saturated (Lemma 5.1(ii)).
+	if !p.Saturated(cert.D, 2*cert.Theta.Size()) {
+		return fmt.Errorf("%w: D is not 2|θ| = %d saturated", ErrBadCertificate, 2*cert.Theta.Size())
+	}
+	// Replay IC(A) →* D →* Stable.
+	d, err := replay(p, p.InitialConfigN(cert.A), cert.PathToD)
+	if err != nil {
+		return fmt.Errorf("replaying IC(A) →* D: %w", err)
+	}
+	if !d.Equal(cert.D) {
+		return fmt.Errorf("%w: saturation path reaches %s, want D", ErrBadCertificate, p.FormatConfig(d))
+	}
+	st, err := replay(p, cert.D, cert.PathToStable)
+	if err != nil {
+		return fmt.Errorf("replaying D →* Stable: %w", err)
+	}
+	if !st.Equal(cert.Stable) {
+		return fmt.Errorf("%w: stabilisation path reaches %s, want Stable", ErrBadCertificate, p.FormatConfig(st))
+	}
+	// Explicit pump for small λ: IC(A+λB) →* D + λ·IC(B) →(θ^λ)→ D + λDb
+	// →* Base + Da + λDb.
+	thetaSeq := thetaSequence(cert.Theta)
+	for lambda := int64(1); lambda <= pumpReplayRounds; lambda++ {
+		c := p.InitialConfigN(cert.A + lambda*cert.B)
+		c, err = replay(p, c, cert.PathToD)
+		if err != nil {
+			return fmt.Errorf("pump λ=%d (to D): %w", lambda, err)
+		}
+		for l := int64(0); l < lambda; l++ {
+			c, err = replay(p, c, thetaSeq)
+			if err != nil {
+				return fmt.Errorf("pump λ=%d (θ round %d): %w", lambda, l, err)
+			}
+		}
+		c, err = replay(p, c, cert.PathToStable)
+		if err != nil {
+			return fmt.Errorf("pump λ=%d (to stable): %w", lambda, err)
+		}
+		want := cert.Stable.AddScaled(lambda, cert.Db)
+		if !c.Equal(want) {
+			return fmt.Errorf("%w: pump λ=%d reached %s, want %s",
+				ErrBadCertificate, lambda, p.FormatConfig(c), p.FormatConfig(want))
+		}
+		for q, v := range c {
+			if !cert.S[q] && v > cert.Base[q] {
+				return fmt.Errorf("%w: pumped configuration leaves the ideal at state %d", ErrBadCertificate, q)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package pump
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/multiset"
+	"repro/internal/realise"
+)
+
+// The JSON representations keep certificates portable: a certificate found
+// on one machine can be re-checked anywhere, since the checkers rebuild all
+// trusted state from the protocol itself. Sets and multisets are encoded as
+// sorted lists for deterministic output.
+
+type leaderlessJSON struct {
+	Kind         string           `json:"kind"`
+	A            int64            `json:"a"`
+	B            int64            `json:"b"`
+	PathToD      []int            `json:"pathToD"`
+	D            []int64          `json:"d"`
+	PathToStable []int            `json:"pathToStable"`
+	Stable       []int64          `json:"stable"`
+	Base         []int64          `json:"base"`
+	S            []int            `json:"s"`
+	Da           []int64          `json:"da"`
+	Theta        map[string]int64 `json:"theta"`
+	Db           []int64          `json:"db"`
+}
+
+type chainJSON struct {
+	Kind       string  `json:"kind"`
+	A          int64   `json:"a"`
+	B          int64   `json:"b"`
+	Ca         []int64 `json:"ca"`
+	Cb         []int64 `json:"cb"`
+	S          []int   `json:"s"`
+	PathToCa   []int   `json:"pathToCa"`
+	PathCaToCb []int   `json:"pathCaToCb"`
+}
+
+func sortedSet(s map[int]bool) []int {
+	out := make([]int, 0, len(s))
+	for k, v := range s {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func setFromList(l []int) map[int]bool {
+	out := make(map[int]bool, len(l))
+	for _, k := range l {
+		out[k] = true
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *LeaderlessCertificate) MarshalJSON() ([]byte, error) {
+	theta := make(map[string]int64, len(c.Theta))
+	for t, n := range c.Theta {
+		theta[fmt.Sprint(t)] = n
+	}
+	return json.Marshal(leaderlessJSON{
+		Kind:         "leaderless",
+		A:            c.A,
+		B:            c.B,
+		PathToD:      c.PathToD,
+		D:            c.D,
+		PathToStable: c.PathToStable,
+		Stable:       c.Stable,
+		Base:         c.Base,
+		S:            sortedSet(c.S),
+		Da:           c.Da,
+		Theta:        theta,
+		Db:           c.Db,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *LeaderlessCertificate) UnmarshalJSON(data []byte) error {
+	var j leaderlessJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("pump: decoding leaderless certificate: %w", err)
+	}
+	if j.Kind != "leaderless" {
+		return fmt.Errorf("%w: kind %q, want \"leaderless\"", ErrBadCertificate, j.Kind)
+	}
+	theta := make(realise.TransitionMultiset, len(j.Theta))
+	for k, n := range j.Theta {
+		var t int
+		if _, err := fmt.Sscanf(k, "%d", &t); err != nil {
+			return fmt.Errorf("pump: bad theta key %q: %w", k, err)
+		}
+		theta[t] = n
+	}
+	*c = LeaderlessCertificate{
+		A:            j.A,
+		B:            j.B,
+		PathToD:      j.PathToD,
+		D:            multiset.FromCounts(j.D),
+		PathToStable: j.PathToStable,
+		Stable:       multiset.FromCounts(j.Stable),
+		Base:         multiset.FromCounts(j.Base),
+		S:            setFromList(j.S),
+		Da:           multiset.FromCounts(j.Da),
+		Theta:        theta,
+		Db:           multiset.FromCounts(j.Db),
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *ChainCertificate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(chainJSON{
+		Kind:       "chain",
+		A:          c.A,
+		B:          c.B,
+		Ca:         c.Ca,
+		Cb:         c.Cb,
+		S:          sortedSet(c.S),
+		PathToCa:   c.PathToCa,
+		PathCaToCb: c.PathCaToCb,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *ChainCertificate) UnmarshalJSON(data []byte) error {
+	var j chainJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("pump: decoding chain certificate: %w", err)
+	}
+	if j.Kind != "chain" {
+		return fmt.Errorf("%w: kind %q, want \"chain\"", ErrBadCertificate, j.Kind)
+	}
+	*c = ChainCertificate{
+		A:          j.A,
+		B:          j.B,
+		Ca:         multiset.FromCounts(j.Ca),
+		Cb:         multiset.FromCounts(j.Cb),
+		S:          setFromList(j.S),
+		PathToCa:   j.PathToCa,
+		PathCaToCb: j.PathCaToCb,
+	}
+	return nil
+}

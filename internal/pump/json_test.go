@@ -1,0 +1,108 @@
+package pump
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/protocols"
+)
+
+func TestLeaderlessCertificateJSONRoundTrip(t *testing.T) {
+	e := protocols.FlockOfBirds(3)
+	p := e.Protocol
+	cert, err := FindLeaderless(p, FindOptions{Seed: 17})
+	if err != nil {
+		t.Fatalf("FindLeaderless: %v", err)
+	}
+	data, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back LeaderlessCertificate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	// The round-tripped certificate must still verify — the strongest
+	// possible equality check.
+	if err := CheckLeaderless(p, &back, nil); err != nil {
+		t.Fatalf("round-tripped certificate rejected: %v", err)
+	}
+	if back.A != cert.A || back.B != cert.B || back.Theta.Size() != cert.Theta.Size() {
+		t.Fatalf("fields changed: %+v vs %+v", back.A, cert.A)
+	}
+	// Deterministic encoding.
+	data2, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("marshalling not deterministic")
+	}
+}
+
+func TestChainCertificateJSONRoundTrip(t *testing.T) {
+	e := protocols.Succinct(2)
+	p := e.Protocol
+	cert, err := FindChain(p, FindOptions{Seed: 11})
+	if err != nil {
+		t.Fatalf("FindChain: %v", err)
+	}
+	data, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back ChainCertificate
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if err := CheckChain(p, &back, nil); err != nil {
+		t.Fatalf("round-tripped certificate rejected: %v", err)
+	}
+}
+
+func TestCertificateJSONKindMismatch(t *testing.T) {
+	var ll LeaderlessCertificate
+	if err := json.Unmarshal([]byte(`{"kind":"chain"}`), &ll); err == nil {
+		t.Fatal("wrong kind must be rejected")
+	}
+	var ch ChainCertificate
+	if err := json.Unmarshal([]byte(`{"kind":"leaderless"}`), &ch); err == nil {
+		t.Fatal("wrong kind must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{not json`), &ch); err == nil {
+		t.Fatal("bad JSON must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"leaderless","theta":{"abc":1}}`), &ll); err == nil {
+		t.Fatal("bad theta key must be rejected")
+	}
+}
+
+func TestTamperedJSONCertificateRejectedByChecker(t *testing.T) {
+	e := protocols.FlockOfBirds(3)
+	p := e.Protocol
+	cert, err := FindLeaderless(p, FindOptions{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the claimed bound in the serialized form.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["a"] = json.RawMessage("2")
+	tampered, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LeaderlessCertificate
+	if err := json.Unmarshal(tampered, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLeaderless(p, &back, nil); err == nil {
+		t.Fatal("checker must reject the tampered file")
+	}
+}

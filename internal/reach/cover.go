@@ -1,0 +1,66 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// CoverLength returns the length of a shortest execution from start to a
+// configuration covering target (C ≥ target), or ok = false if no covering
+// configuration is reachable. This is the quantity that Rackoff's theorem
+// bounds: Lemma 3.2 uses that a covering execution, when one exists, can be
+// chosen of length at most β(n) = 2^(2(2n+1)!+1); measuring the true
+// shortest lengths on concrete protocols (experiment E11) shows the gap.
+//
+// The search is breadth-first over the exact configuration graph (fixed
+// population size), so the returned length is minimal.
+func CoverLength(p *protocol.Protocol, start protocol.Config, target multiset.Vec, limit int) (int, bool, error) {
+	if target.Dim() != p.NumStates() {
+		return 0, false, fmt.Errorf("reach: target dimension %d, want %d", target.Dim(), p.NumStates())
+	}
+	if target.Le(start) {
+		return 0, true, nil
+	}
+	g, err := Explore(p, start, limit)
+	if err != nil {
+		return 0, false, err
+	}
+	// BFS levels: Explore's parent pointers form a BFS tree, so the path
+	// length from the tree is minimal.
+	best := -1
+	for i := 0; i < g.Len(); i++ {
+		if !target.Le(g.Config(i)) {
+			continue
+		}
+		if l := len(g.Path(i)); best < 0 || l < best {
+			best = l
+		}
+	}
+	if best < 0 {
+		return 0, false, nil
+	}
+	return best, true, nil
+}
+
+// MaxCoverLength returns, over all single-state targets q with output b,
+// the largest shortest-covering-execution length from start (0 if no such
+// state is coverable). It measures how long the witness executions in the
+// stability analysis actually are.
+func MaxCoverLength(p *protocol.Protocol, start protocol.Config, b int, limit int) (int, error) {
+	max := 0
+	for q := 0; q < p.NumStates(); q++ {
+		if p.Output(protocol.State(q)) != b {
+			continue
+		}
+		l, ok, err := CoverLength(p, start, multiset.Unit(p.NumStates(), q), limit)
+		if err != nil {
+			return 0, err
+		}
+		if ok && l > max {
+			max = l
+		}
+	}
+	return max, nil
+}

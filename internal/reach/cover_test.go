@@ -1,0 +1,63 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/protocols"
+)
+
+func TestCoverLength(t *testing.T) {
+	e := protocols.Succinct(2) // merge chain 1,1→0,2; 2,2→0,4
+	p := e.Protocol
+	top, _ := p.StateByName("2^2")
+	target := multiset.Unit(p.NumStates(), int(top))
+
+	// From IC(4): two merges of 1s then one merge of 2s ⇒ 3 steps minimum.
+	l, ok, err := CoverLength(p, p.InitialConfigN(4), target, 0)
+	if err != nil {
+		t.Fatalf("CoverLength: %v", err)
+	}
+	if !ok || l != 3 {
+		t.Fatalf("cover length = %d,%t, want 3", l, ok)
+	}
+	// From IC(3): value 3 < 4, the top is unreachable.
+	if _, ok, err := CoverLength(p, p.InitialConfigN(3), target, 0); err != nil || ok {
+		t.Fatalf("IC(3) must not cover the top: %t %v", ok, err)
+	}
+	// Zero-length when already covering.
+	start := multiset.New(p.NumStates())
+	start[top] = 2
+	if l, ok, _ := CoverLength(p, start, target, 0); !ok || l != 0 {
+		t.Fatalf("already-covered length = %d,%t", l, ok)
+	}
+	// Dimension mismatch.
+	if _, _, err := CoverLength(p, p.InitialConfigN(4), multiset.New(2), 0); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func TestMaxCoverLength(t *testing.T) {
+	e := protocols.FlockOfBirds(4)
+	p := e.Protocol
+	// From IC(4): the farthest 1-output state (the cap "4") needs two
+	// merges then the cap transition; 0-output states are covered
+	// immediately or after one step.
+	m1, err := MaxCoverLength(p, p.InitialConfigN(4), 1, 0)
+	if err != nil {
+		t.Fatalf("MaxCoverLength: %v", err)
+	}
+	if m1 < 2 {
+		t.Fatalf("max cover length to output-1 = %d, want ≥ 2", m1)
+	}
+	m0, err := MaxCoverLength(p, p.InitialConfigN(4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0 < 1 {
+		t.Fatalf("max cover length to output-0 = %d, want ≥ 1 (state 2 needs a merge)", m0)
+	}
+	// All measured lengths are minuscule compared to the Rackoff-style
+	// bound β(n) = 2^(2(2n+1)!+1) used in Lemma 3.2 — that contrast is
+	// experiment E11's point.
+}

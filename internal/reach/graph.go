@@ -1,0 +1,191 @@
+// Package reach implements exact finite-population semantics for population
+// protocols: breadth-first exploration of the configuration graph of a fixed
+// population size, strongly-connected-component analysis, and the resulting
+// sound-and-complete verdicts about fair executions.
+//
+// The key characterisation (standard for finite systems and used as the
+// ground truth throughout this repository): transitions preserve population
+// size, so the configurations reachable from IC(v) form a finite graph, and
+// a fair execution eventually enters a bottom SCC and visits every
+// configuration of that SCC infinitely often. Hence every fair execution
+// from IC(v) stabilises to output b iff every bottom SCC reachable from
+// IC(v) is a b-consensus (all its configurations have output b), and the
+// protocol computes ϕ on input v iff this holds with b = ϕ(v).
+package reach
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// ErrLimitExceeded is returned when exploration would exceed the
+// configuration limit.
+var ErrLimitExceeded = errors.New("reach: configuration limit exceeded")
+
+// Step is one edge of a path: firing Transition led to the configuration
+// with index To.
+type Step struct {
+	Transition int
+	To         int
+}
+
+// Graph is the set of configurations reachable from a start configuration,
+// with its transition edges. Node 0 is the start configuration.
+type Graph struct {
+	p       *protocol.Protocol
+	configs []protocol.Config
+	index   map[string]int
+	succs   [][]int32
+	// BFS tree for path reconstruction: parent node and the transition fired.
+	parent     []int32
+	parentTran []int32
+}
+
+// Explore builds the configuration graph reachable from start. It returns
+// ErrLimitExceeded if more than limit configurations are reachable
+// (limit ≤ 0 means a default of 2,000,000).
+func Explore(p *protocol.Protocol, start protocol.Config, limit int) (*Graph, error) {
+	if limit <= 0 {
+		limit = 2_000_000
+	}
+	if start.Dim() != p.NumStates() {
+		return nil, fmt.Errorf("reach: start configuration has dimension %d, want %d",
+			start.Dim(), p.NumStates())
+	}
+	g := &Graph{
+		p:     p,
+		index: make(map[string]int),
+	}
+	add := func(c protocol.Config, from, tran int32) (int, bool) {
+		k := c.Key()
+		if i, ok := g.index[k]; ok {
+			return i, false
+		}
+		i := len(g.configs)
+		g.configs = append(g.configs, c.Clone())
+		g.index[k] = i
+		g.succs = append(g.succs, nil)
+		g.parent = append(g.parent, from)
+		g.parentTran = append(g.parentTran, tran)
+		return i, true
+	}
+	add(start, -1, -1)
+	for head := 0; head < len(g.configs); head++ {
+		c := g.configs[head]
+		next := c.Clone()
+		for t := 0; t < p.NumTransitions(); t++ {
+			if !p.Enabled(c, t) {
+				continue
+			}
+			d := p.Displacement(t)
+			if d.IsZero() {
+				continue // identity transition: self-loop, irrelevant to SCCs
+			}
+			copy(next, c)
+			next.AddInPlace(d)
+			j, fresh := add(next, int32(head), int32(t))
+			if fresh && len(g.configs) > limit {
+				return nil, fmt.Errorf("%w: limit %d from %s", ErrLimitExceeded, limit, p.FormatConfig(start))
+			}
+			// Dedup successor edges (degree is small).
+			dup := false
+			for _, s := range g.succs[head] {
+				if int(s) == j {
+					dup = true
+					break
+				}
+			}
+			if !dup && j != head {
+				g.succs[head] = append(g.succs[head], int32(j))
+			}
+		}
+	}
+	return g, nil
+}
+
+// Protocol returns the protocol this graph was built for.
+func (g *Graph) Protocol() *protocol.Protocol { return g.p }
+
+// Len returns the number of reachable configurations.
+func (g *Graph) Len() int { return len(g.configs) }
+
+// Config returns configuration i. The returned vector is owned by the graph
+// and must not be modified.
+func (g *Graph) Config(i int) protocol.Config { return g.configs[i] }
+
+// Start returns the start configuration (node 0).
+func (g *Graph) Start() protocol.Config { return g.configs[0] }
+
+// IndexOf returns the node index of configuration c.
+func (g *Graph) IndexOf(c protocol.Config) (int, bool) {
+	i, ok := g.index[c.Key()]
+	return i, ok
+}
+
+// Succs returns the successor node indices of node i (identity self-loops
+// omitted). The slice is owned by the graph and must not be modified.
+func (g *Graph) Succs(i int) []int32 { return g.succs[i] }
+
+// Path returns the sequence of steps of a shortest path (in the BFS tree)
+// from the start configuration to node i.
+func (g *Graph) Path(i int) []Step {
+	var rev []Step
+	for i != 0 {
+		rev = append(rev, Step{Transition: int(g.parentTran[i]), To: i})
+		i = int(g.parent[i])
+	}
+	// Reverse.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// ReplayPath fires the steps from a copy of from and returns the resulting
+// configuration, validating enabledness; it is used by certificate checkers
+// to re-verify paths with exact arithmetic.
+func ReplayPath(p *protocol.Protocol, from protocol.Config, steps []Step, g *Graph) (protocol.Config, error) {
+	c := from.Clone()
+	for _, s := range steps {
+		if s.Transition < 0 || s.Transition >= p.NumTransitions() {
+			return nil, fmt.Errorf("reach: bad transition index %d", s.Transition)
+		}
+		if !p.Enabled(c, s.Transition) {
+			return nil, fmt.Errorf("reach: transition %s disabled during replay",
+				p.FormatTransition(p.Transition(s.Transition)))
+		}
+		p.FireInPlace(c, s.Transition)
+		if g != nil {
+			if want := g.Config(s.To); !c.Equal(want) {
+				return nil, fmt.Errorf("reach: replay diverged from recorded path")
+			}
+		}
+	}
+	return c, nil
+}
+
+// CanReach reports whether target is reachable from the start configuration.
+func (g *Graph) CanReach(target protocol.Config) bool {
+	_, ok := g.IndexOf(target)
+	return ok
+}
+
+// Filter returns the indices of configurations satisfying keep.
+func (g *Graph) Filter(keep func(protocol.Config) bool) []int {
+	var out []int
+	for i, c := range g.configs {
+		if keep(c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CoveringConfigs returns the indices of configurations that cover m, i.e.
+// C ≥ m. Used for coverability queries (Rackoff's theorem context).
+func (g *Graph) CoveringConfigs(m multiset.Vec) []int {
+	return g.Filter(func(c protocol.Config) bool { return m.Le(c) })
+}

@@ -1,0 +1,133 @@
+package reach
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// ExploreParallel builds the same configuration graph as Explore using a
+// level-synchronized parallel BFS: within each level, successor computation
+// (the enabledness/firing work) fans out across workers; the merge into the
+// shared node table is single-threaded, keeping the data structures free of
+// locks on the hot read path. The set of configurations, the reachability
+// relation, and the BFS level of every node are identical to Explore's;
+// node numbering within a level may differ between runs.
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func ExploreParallel(p *protocol.Protocol, start protocol.Config, limit, workers int) (*Graph, error) {
+	if limit <= 0 {
+		limit = 2_000_000
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if start.Dim() != p.NumStates() {
+		return nil, fmt.Errorf("reach: start configuration has dimension %d, want %d",
+			start.Dim(), p.NumStates())
+	}
+	g := &Graph{
+		p:     p,
+		index: make(map[string]int),
+	}
+	g.configs = append(g.configs, start.Clone())
+	g.index[start.Key()] = 0
+	g.succs = append(g.succs, nil)
+	g.parent = append(g.parent, -1)
+	g.parentTran = append(g.parentTran, -1)
+
+	// Pre-collect non-identity transitions once.
+	var trans []int
+	for t := 0; t < p.NumTransitions(); t++ {
+		if !p.Displacement(t).IsZero() {
+			trans = append(trans, t)
+		}
+	}
+
+	type edge struct {
+		from int32
+		tran int32
+		cfg  protocol.Config
+		key  string
+	}
+
+	level := []int32{0}
+	for len(level) > 0 {
+		// Fan out successor computation.
+		results := make([][]edge, workers)
+		var wg sync.WaitGroup
+		chunk := (len(level) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(level) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(level) {
+				hi = len(level)
+			}
+			wg.Add(1)
+			go func(w int, nodes []int32) {
+				defer wg.Done()
+				var out []edge
+				next := protocol.Config(make([]int64, p.NumStates()))
+				for _, n := range nodes {
+					c := g.configs[n]
+					for _, t := range trans {
+						if !p.Enabled(c, t) {
+							continue
+						}
+						copy(next, c)
+						next.AddInPlace(p.Displacement(t))
+						out = append(out, edge{
+							from: n,
+							tran: int32(t),
+							cfg:  next.Clone(),
+							key:  next.Key(),
+						})
+					}
+				}
+				results[w] = out
+			}(w, level[lo:hi])
+		}
+		wg.Wait()
+
+		// Merge single-threaded.
+		var nextLevel []int32
+		for _, out := range results {
+			for _, e := range out {
+				j, ok := g.index[e.key]
+				if !ok {
+					j = len(g.configs)
+					if j > limit {
+						return nil, fmt.Errorf("%w: limit %d from %s",
+							ErrLimitExceeded, limit, p.FormatConfig(start))
+					}
+					g.configs = append(g.configs, e.cfg)
+					g.index[e.key] = j
+					g.succs = append(g.succs, nil)
+					g.parent = append(g.parent, e.from)
+					g.parentTran = append(g.parentTran, e.tran)
+					nextLevel = append(nextLevel, int32(j))
+				}
+				if int32(j) == e.from {
+					continue
+				}
+				dup := false
+				for _, s := range g.succs[e.from] {
+					if int(s) == j {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					g.succs[e.from] = append(g.succs[e.from], int32(j))
+				}
+			}
+		}
+		level = nextLevel
+	}
+	return g, nil
+}

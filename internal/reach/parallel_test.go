@@ -1,0 +1,101 @@
+package reach
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/protocols"
+)
+
+// TestExploreParallelMatchesSequential: identical configuration sets,
+// identical BFS depths, identical fair outputs and stable sets.
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name  string
+		e     protocols.Entry
+		input int64
+	}{
+		{"flock(5)", protocols.FlockOfBirds(5), 9},
+		{"succinct(3)", protocols.Succinct(3), 8},
+		{"binary(7)", protocols.BinaryThreshold(7), 9},
+		{"parity", protocols.Parity(), 7},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			p := tc.e.Protocol
+			seq, err := Explore(p, p.InitialConfigN(tc.input), 0)
+			if err != nil {
+				t.Fatalf("Explore: %v", err)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				par, err := ExploreParallel(p, p.InitialConfigN(tc.input), 0, workers)
+				if err != nil {
+					t.Fatalf("ExploreParallel(%d): %v", workers, err)
+				}
+				if par.Len() != seq.Len() {
+					t.Fatalf("workers=%d: %d configs, want %d", workers, par.Len(), seq.Len())
+				}
+				// Same configuration set, same BFS depth per configuration.
+				for i := 0; i < seq.Len(); i++ {
+					c := seq.Config(i)
+					j, ok := par.IndexOf(c)
+					if !ok {
+						t.Fatalf("workers=%d: %s missing", workers, p.FormatConfig(c))
+					}
+					if len(par.Path(j)) != len(seq.Path(i)) {
+						t.Fatalf("workers=%d: BFS depth differs for %s", workers, p.FormatConfig(c))
+					}
+				}
+				// Same fair output.
+				b1, ok1 := seq.FairOutput()
+				b2, ok2 := par.FairOutput()
+				if b1 != b2 || ok1 != ok2 {
+					t.Fatalf("fair outputs differ: %d,%t vs %d,%t", b1, ok1, b2, ok2)
+				}
+				// Same stable-configuration count.
+				if len(par.StableConfigs(1)) != len(seq.StableConfigs(1)) {
+					t.Fatalf("stable counts differ")
+				}
+			}
+		})
+	}
+}
+
+func TestExploreParallelLimit(t *testing.T) {
+	e := protocols.FlockOfBirds(5)
+	p := e.Protocol
+	_, err := ExploreParallel(p, p.InitialConfigN(8), 3, 2)
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+}
+
+func TestExploreParallelDimensionMismatch(t *testing.T) {
+	e := protocols.Parity()
+	if _, err := ExploreParallel(e.Protocol, multiset.New(1), 0, 2); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func BenchmarkExploreSequentialVsParallel(b *testing.B) {
+	e := protocols.FlockOfBirds(7)
+	p := e.Protocol
+	start := p.InitialConfigN(13)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Explore(p, start, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ExploreParallel(p, start, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

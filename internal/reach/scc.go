@@ -1,0 +1,217 @@
+package reach
+
+// SCCInfo is the strongly-connected-component decomposition of a Graph.
+type SCCInfo struct {
+	// Comp maps node index → component id. Components are numbered in
+	// reverse topological order: every edge goes from a component to one
+	// with a smaller or equal id, so component 0 is a bottom component.
+	Comp []int32
+	// NumComps is the number of components.
+	NumComps int
+	// Bottom[c] reports whether component c has no edges leaving it; fair
+	// executions end up in (and fully cover) exactly the bottom components.
+	Bottom []bool
+	// Members lists the node indices of each component.
+	Members [][]int32
+}
+
+// SCCs computes the strongly connected components of the graph with an
+// iterative Tarjan algorithm (explicit stack; configuration graphs can be
+// deep, so recursion is not an option).
+func (g *Graph) SCCs() *SCCInfo {
+	n := g.Len()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		stack    []int32 // Tarjan stack
+		nextIdx  int32
+		numComps int32
+	)
+	type frame struct {
+		v    int32
+		next int // next successor position to process
+	}
+	var call []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: int32(root)})
+		index[root] = nextIdx
+		low[root] = nextIdx
+		nextIdx++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.next < len(g.succs[v]) {
+				w := g.succs[v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = nextIdx
+					low[w] = nextIdx
+					nextIdx++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-processing of v.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComps
+					if w == v {
+						break
+					}
+				}
+				numComps++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				u := call[len(call)-1].v
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+			}
+		}
+	}
+
+	info := &SCCInfo{
+		Comp:     comp,
+		NumComps: int(numComps),
+		Bottom:   make([]bool, numComps),
+		Members:  make([][]int32, numComps),
+	}
+	for i := range info.Bottom {
+		info.Bottom[i] = true
+	}
+	for v := 0; v < n; v++ {
+		info.Members[comp[v]] = append(info.Members[comp[v]], int32(v))
+		for _, w := range g.succs[v] {
+			if comp[w] != comp[v] {
+				info.Bottom[comp[v]] = false
+			}
+		}
+	}
+	return info
+}
+
+// FairOutput returns the output of every fair execution from the start
+// configuration: b if every bottom SCC is a b-consensus for one common b.
+// ok is false if some bottom SCC contains a configuration with undefined
+// output, mixes outputs, or two bottom SCCs disagree — in all those cases
+// the protocol does not converge (or does not converge consistently) on
+// this input.
+func (g *Graph) FairOutput() (b int, ok bool) {
+	info := g.SCCs()
+	return g.fairOutput(info)
+}
+
+func (g *Graph) fairOutput(info *SCCInfo) (int, bool) {
+	result := -1
+	for c := 0; c < info.NumComps; c++ {
+		if !info.Bottom[c] {
+			continue
+		}
+		for _, v := range info.Members[c] {
+			ob, ok := g.p.OutputOf(g.configs[v])
+			if !ok {
+				return -1, false
+			}
+			if result == -1 {
+				result = ob
+			} else if result != ob {
+				return -1, false
+			}
+		}
+	}
+	if result == -1 {
+		return -1, false
+	}
+	return result, true
+}
+
+// StableFlags returns, for each node, whether its configuration is b-stable:
+// every configuration reachable from it (necessarily within this graph,
+// since transitions preserve population size) has output b. This is the
+// fixed-size restriction of Definition 2, and is computed by propagating
+// over the component DAG in topological order (components are numbered in
+// reverse topological order, so a forward scan over ids 0,1,... visits
+// successors first).
+func (g *Graph) StableFlags(b int) []bool {
+	info := g.SCCs()
+	compStable := make([]bool, info.NumComps)
+	// Process components in id order: all successors of a component have
+	// smaller ids, hence are already decided.
+	for c := 0; c < info.NumComps; c++ {
+		stable := true
+		for _, v := range info.Members[c] {
+			if ob, ok := g.p.OutputOf(g.configs[v]); !ok || ob != b {
+				stable = false
+				break
+			}
+			for _, w := range g.succs[v] {
+				wc := info.Comp[w]
+				if wc != int32(c) && !compStable[wc] {
+					stable = false
+					break
+				}
+			}
+			if !stable {
+				break
+			}
+		}
+		compStable[c] = stable
+	}
+	out := make([]bool, g.Len())
+	for v := range out {
+		out[v] = compStable[info.Comp[v]]
+	}
+	return out
+}
+
+// StableConfigs returns the node indices of b-stable configurations,
+// i.e. the members of SC_b among reachable configurations.
+func (g *Graph) StableConfigs(b int) []int {
+	flags := g.StableFlags(b)
+	var out []int
+	for i, f := range flags {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FirstStable returns the index of the first (in BFS order, hence via a
+// shortest path) b-stable configuration for either b, together with its
+// output. ok is false if no stable configuration is reachable.
+func (g *Graph) FirstStable() (idx, b int, ok bool) {
+	s0 := g.StableFlags(0)
+	s1 := g.StableFlags(1)
+	for i := 0; i < g.Len(); i++ {
+		if s0[i] {
+			return i, 0, true
+		}
+		if s1[i] {
+			return i, 1, true
+		}
+	}
+	return 0, -1, false
+}

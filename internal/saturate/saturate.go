@@ -1,0 +1,199 @@
+// Package saturate implements Section 5.3 of the paper: reaching j-saturated
+// configurations (every state populated by at least j agents) from pure-x
+// inputs of leaderless protocols.
+//
+// Lemma 5.3 guarantees, for any configuration C with x ∈ ⟦C⟧ ⊊ Q, a
+// transition whose precondition lies in the support and whose postcondition
+// leaves it — provided every state of the protocol is coverable from some
+// input (the paper's standing assumption for protocols that compute
+// predicates; states violating it are dead and can be removed). Lemma 5.4
+// iterates this: a sequence σ_j of length (3^j − 1)/2 takes IC(3^j) to a
+// configuration whose support grows strictly at each of j ≤ n stages,
+// ending 1-saturated; scaling by m gives m-saturated configurations from
+// input m·3^j.
+package saturate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// Errors returned by Saturate.
+var (
+	ErrNotLeaderless  = errors.New("saturate: construction requires a leaderless protocol")
+	ErrMultiInput     = errors.New("saturate: construction requires a single input variable")
+	ErrDeadStates     = errors.New("saturate: states not coverable from any input")
+	ErrSequenceTooBig = errors.New("saturate: witness sequence too long to materialise")
+)
+
+// Result is the Lemma 5.4 witness.
+type Result struct {
+	// Stages is the number j of support-growing stages (≤ number of states).
+	Stages int
+	// Input is 3^Stages: IC(Input) can reach a 1-saturated configuration.
+	Input int64
+	// Sequence is the transition sequence σ of length (3^Stages − 1)/2
+	// taking IC(Input) to Config. It is nil when materialising it would
+	// exceed maxSeqLen (the construction is still valid; see Replay).
+	Sequence []int
+	// Config is the reached 1-saturated configuration.
+	Config multiset.Vec
+}
+
+// maxSeqLen caps materialised witness sequences.
+const maxSeqLen = 50_000_000
+
+// CoverableSupport returns the set of states coverable from pure-x inputs:
+// the least S ∋ I(x) closed under transitions with preconditions in S. By
+// monotonicity of leaderless protocols this is exactly the union of
+// supports of reachable configurations.
+func CoverableSupport(p *protocol.Protocol) map[protocol.State]bool {
+	s := map[protocol.State]bool{p.InputState(0): true}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < p.NumTransitions(); i++ {
+			t := p.Transition(i)
+			if !s[t.P] || !s[t.Q] {
+				continue
+			}
+			if !s[t.P2] {
+				s[t.P2] = true
+				changed = true
+			}
+			if !s[t.Q2] {
+				s[t.Q2] = true
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// Saturate runs the Lemma 5.4 construction and returns its witness.
+func Saturate(p *protocol.Protocol) (Result, error) {
+	if !p.Leaderless() {
+		return Result{}, ErrNotLeaderless
+	}
+	if p.NumInputs() != 1 {
+		return Result{}, ErrMultiInput
+	}
+	cover := CoverableSupport(p)
+	if len(cover) < p.NumStates() {
+		var dead []string
+		for q := 0; q < p.NumStates(); q++ {
+			if !cover[protocol.State(q)] {
+				dead = append(dead, p.StateName(protocol.State(q)))
+			}
+		}
+		return Result{}, fmt.Errorf("%w: %v", ErrDeadStates, dead)
+	}
+
+	// C_0 = IC(1); at each stage, triple the configuration and fire one
+	// support-expanding transition (Lemma 5.3).
+	c := p.InitialConfigN(1)
+	var seq []int
+	seqOK := true
+	stages := 0
+	for {
+		if saturated1(c) {
+			break
+		}
+		t, ok := expandingTransition(p, c)
+		if !ok {
+			// Unreachable given the coverability check above; guard anyway.
+			return Result{}, fmt.Errorf("%w: support stuck at %s", ErrDeadStates, p.FormatConfig(c))
+		}
+		c = c.Scale(3)
+		c.AddInPlace(p.Displacement(t))
+		stages++
+		if seqOK {
+			if 3*len(seq)+1 > maxSeqLen {
+				seq, seqOK = nil, false
+			} else {
+				tripled := make([]int, 0, 3*len(seq)+1)
+				tripled = append(tripled, seq...)
+				tripled = append(tripled, seq...)
+				tripled = append(tripled, seq...)
+				tripled = append(tripled, t)
+				seq = tripled
+			}
+		}
+	}
+	input := int64(1)
+	for i := 0; i < stages; i++ {
+		input *= 3
+	}
+	res := Result{Stages: stages, Input: input, Config: c}
+	if seqOK {
+		res.Sequence = seq
+	}
+	return res, nil
+}
+
+// saturated1 reports whether every coordinate is ≥ 1.
+func saturated1(c multiset.Vec) bool {
+	for _, v := range c {
+		if v < 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// expandingTransition finds a transition with precondition inside ⟦C⟧ whose
+// postcondition adds a new state — the Lemma 5.3 witness. It is enabled at
+// 2C (two copies supply both agents even when P = Q with C(P) = 1).
+func expandingTransition(p *protocol.Protocol, c multiset.Vec) (int, bool) {
+	for i := 0; i < p.NumTransitions(); i++ {
+		t := p.Transition(i)
+		if c[t.P] == 0 || c[t.Q] == 0 {
+			continue
+		}
+		if c[t.P2] == 0 || c[t.Q2] == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// SaturateJ returns an input and configuration pair such that IC(input) can
+// reach the returned j-saturated configuration: the Lemma 5.4 witness scaled
+// by j (monotonicity: executing σ j times from IC(j·3^stages) works).
+func SaturateJ(p *protocol.Protocol, j int64) (input int64, cfg multiset.Vec, err error) {
+	if j < 1 {
+		return 0, nil, fmt.Errorf("saturate: j must be ≥ 1, got %d", j)
+	}
+	res, err := Saturate(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return j * res.Input, res.Config.Scale(j), nil
+}
+
+// Replay validates a Result by firing its sequence from IC(Input) with exact
+// arithmetic, returning the reached configuration. It errors if the sequence
+// was not materialised or does not replay to Config.
+func Replay(p *protocol.Protocol, res Result) (multiset.Vec, error) {
+	if res.Sequence == nil && res.Stages > 0 {
+		return nil, ErrSequenceTooBig
+	}
+	c := p.InitialConfigN(res.Input)
+	for k, t := range res.Sequence {
+		if t < 0 || t >= p.NumTransitions() {
+			return nil, fmt.Errorf("saturate: bad transition %d at position %d", t, k)
+		}
+		if !p.Enabled(c, t) {
+			return nil, fmt.Errorf("saturate: transition %s disabled at position %d",
+				p.FormatTransition(p.Transition(t)), k)
+		}
+		p.FireInPlace(c, t)
+	}
+	if !c.Equal(res.Config) {
+		return nil, fmt.Errorf("saturate: replay reached %s, want %s",
+			p.FormatConfig(c), p.FormatConfig(res.Config))
+	}
+	return c, nil
+}

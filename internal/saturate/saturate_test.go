@@ -1,0 +1,165 @@
+package saturate
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/protocols"
+)
+
+func TestSaturateZooProtocols(t *testing.T) {
+	entries := map[string]protocols.Entry{
+		"flock(3)":    protocols.FlockOfBirds(3),
+		"flock(6)":    protocols.FlockOfBirds(6),
+		"succinct(2)": protocols.Succinct(2),
+		"succinct(4)": protocols.Succinct(4),
+		"binary(11)":  protocols.BinaryThreshold(11),
+		"binary(21)":  protocols.BinaryThreshold(21),
+		"parity":      protocols.Parity(),
+	}
+	for name, e := range entries {
+		e := e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := e.Protocol
+			res, err := Saturate(p)
+			if err != nil {
+				t.Fatalf("Saturate: %v", err)
+			}
+			// The witness configuration must be 1-saturated.
+			if !p.Saturated(res.Config, 1) {
+				t.Fatalf("config not 1-saturated: %s", p.FormatConfig(res.Config))
+			}
+			// Lemma 5.4: at most n stages, input 3^stages ≤ 3^n.
+			if res.Stages > p.NumStates() {
+				t.Fatalf("stages = %d > n = %d", res.Stages, p.NumStates())
+			}
+			want3 := int64(1)
+			for i := 0; i < res.Stages; i++ {
+				want3 *= 3
+			}
+			if res.Input != want3 {
+				t.Fatalf("input = %d, want 3^%d = %d", res.Input, res.Stages, want3)
+			}
+			// |σ_j| = (3^j − 1)/2.
+			if res.Sequence == nil {
+				t.Fatalf("sequence should be materialised for small protocols")
+			}
+			if int64(len(res.Sequence)) != (want3-1)/2 {
+				t.Fatalf("|σ| = %d, want (3^%d−1)/2 = %d", len(res.Sequence), res.Stages, (want3-1)/2)
+			}
+			// Population conservation: |Config| = Input.
+			if res.Config.Size() != res.Input {
+				t.Fatalf("|Config| = %d, want %d", res.Config.Size(), res.Input)
+			}
+			// Exact replay.
+			got, err := Replay(p, res)
+			if err != nil {
+				t.Fatalf("Replay: %v", err)
+			}
+			if !got.Equal(res.Config) {
+				t.Fatal("replay mismatch")
+			}
+		})
+	}
+}
+
+func TestSaturateJScaling(t *testing.T) {
+	e := protocols.Succinct(2)
+	p := e.Protocol
+	input, cfg, err := SaturateJ(p, 5)
+	if err != nil {
+		t.Fatalf("SaturateJ: %v", err)
+	}
+	if !p.Saturated(cfg, 5) {
+		t.Fatalf("config not 5-saturated: %s", p.FormatConfig(cfg))
+	}
+	if cfg.Size() != input {
+		t.Fatalf("|cfg| = %d, want input %d", cfg.Size(), input)
+	}
+	if _, _, err := SaturateJ(p, 0); err == nil {
+		t.Fatal("j = 0 must error")
+	}
+}
+
+func TestSaturateErrors(t *testing.T) {
+	if _, err := Saturate(protocols.LeaderFlock(2).Protocol); !errors.Is(err, ErrNotLeaderless) {
+		t.Fatalf("want ErrNotLeaderless, got %v", err)
+	}
+	if _, err := Saturate(protocols.Majority().Protocol); !errors.Is(err, ErrMultiInput) {
+		t.Fatalf("want ErrMultiInput, got %v", err)
+	}
+	// A protocol with an unreachable state.
+	b := protocol.NewBuilder("dead-state")
+	x := b.AddState("x", 0)
+	b.AddState("dead", 1)
+	b.AddInput("x", x)
+	p := b.CompleteWithIdentity().MustBuild()
+	_, err := Saturate(p)
+	if !errors.Is(err, ErrDeadStates) {
+		t.Fatalf("want ErrDeadStates, got %v", err)
+	}
+}
+
+func TestCoverableSupport(t *testing.T) {
+	e := protocols.Succinct(2)
+	p := e.Protocol
+	cover := CoverableSupport(p)
+	if len(cover) != p.NumStates() {
+		t.Fatalf("all states of P'_2 are coverable, got %d/%d", len(cover), p.NumStates())
+	}
+	// Chain protocol: x,x ↦ a,a; a,a ↦ b,b: all coverable; c unreachable.
+	bld := protocol.NewBuilder("chain")
+	x := bld.AddState("x", 0)
+	a := bld.AddState("a", 0)
+	bb := bld.AddState("b", 0)
+	c := bld.AddState("c", 1)
+	bld.AddTransition(x, x, a, a)
+	bld.AddTransition(a, a, bb, bb)
+	bld.AddTransition(c, c, c, c)
+	bld.AddInput("x", x)
+	p2 := bld.CompleteWithIdentity().MustBuild()
+	cover2 := CoverableSupport(p2)
+	if !cover2[x] || !cover2[a] || !cover2[bb] {
+		t.Fatal("x, a, b must be coverable")
+	}
+	if cover2[c] {
+		t.Fatal("c must not be coverable")
+	}
+}
+
+func TestSingleStateProtocolTriviallySaturated(t *testing.T) {
+	e := protocols.Constant(true)
+	res, err := Saturate(e.Protocol)
+	if err != nil {
+		t.Fatalf("Saturate: %v", err)
+	}
+	if res.Stages != 0 || res.Input != 1 || len(res.Sequence) != 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestReplayDetectsCorruption(t *testing.T) {
+	e := protocols.FlockOfBirds(3)
+	p := e.Protocol
+	res, err := Saturate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sequence) == 0 {
+		t.Skip("no steps to corrupt")
+	}
+	bad := res
+	bad.Sequence = append([]int(nil), res.Sequence...)
+	bad.Sequence[0] = p.NumTransitions() + 1
+	if _, err := Replay(p, bad); err == nil {
+		t.Fatal("corrupt transition index must fail replay")
+	}
+	bad2 := res
+	bad2.Config = res.Config.Clone()
+	bad2.Config[0]++
+	if _, err := Replay(p, bad2); err == nil {
+		t.Fatal("corrupt target config must fail replay")
+	}
+}

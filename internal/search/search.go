@@ -1,0 +1,224 @@
+// Package search explores the space of small population protocols
+// exhaustively, the experimental counterpart of the paper's busy beaver
+// function (Definition 1): BB(n) is the largest η such that some leaderless
+// protocol with n states computes x ≥ η.
+//
+// The search enumerates every deterministic leaderless protocol with n
+// states and a single input variable (input state fixed to q0 — justified
+// up to state renaming), verifies threshold behaviour exactly for all
+// inputs up to a bound using the reach package, and reports the best
+// threshold found. Verification up to a finite input bound makes the result
+// an *empirical lower-bound table*: a reported protocol provably behaves as
+// x ≥ η on every input ≤ MaxInput (sound for those sizes; the bound is part
+// of the result).
+//
+// The package also measures the Section 4.1 quantity f(n): the largest,
+// over n-state protocols, of the minimal input whose initial configuration
+// can reach an all-output-1 configuration — the quantity that is
+// 2^O(n) for leaderless protocols (Balasubramanian et al. [10]) but grows
+// non-primitively-recursively with leaders.
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/reach"
+)
+
+// Options configures a search.
+type Options struct {
+	// MaxInput is the verification bound per candidate (default 10).
+	MaxInput int64
+	// Limit bounds each configuration graph (default reach's default).
+	Limit int
+	// MaxCandidates stops enumeration early after this many candidates
+	// (0 = unlimited, i.e. exhaustive).
+	MaxCandidates int
+}
+
+// BBResult reports an empirical busy beaver search.
+type BBResult struct {
+	States     int
+	MaxInput   int64
+	Candidates int   // protocols enumerated
+	Converging int   // protocols whose fair output is defined on all tested inputs
+	BestEta    int64 // largest verified threshold (0 if none found)
+	Best       *protocol.Protocol
+	Exhaustive bool // whether the whole space was enumerated
+}
+
+// String renders the result.
+func (r BBResult) String() string {
+	name := "none"
+	if r.Best != nil {
+		name = r.Best.Name()
+	}
+	return fmt.Sprintf("BB(%d) ≥ %d (verified ≤ %d; %d candidates, %d converging, exhaustive=%t, witness %s)",
+		r.States, r.BestEta, r.MaxInput, r.Candidates, r.Converging, r.Exhaustive, name)
+}
+
+// EnumerateDeterministic yields every deterministic leaderless protocol
+// with n states q0..q(n−1), input variable x mapped to q0, all 2^n output
+// assignments and all transition functions mapping each unordered state
+// pair to an unordered result pair. It stops early when yield returns
+// false. The number of candidates is (n(n+1)/2)^(n(n+1)/2) · 2^n.
+func EnumerateDeterministic(n int, yield func(*protocol.Protocol) bool) {
+	if n < 1 {
+		return
+	}
+	type pair struct{ a, b protocol.State }
+	var pairs []pair
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			pairs = append(pairs, pair{protocol.State(a), protocol.State(b)})
+		}
+	}
+	np := len(pairs)
+	assign := make([]int, np) // pair index → result pair index
+	outputs := make([]int, n)
+
+	var build func() bool
+	build = func() bool {
+		b := protocol.NewBuilder(fmt.Sprintf("enum-%d%v%v", n, outputs, assign))
+		for q := 0; q < n; q++ {
+			b.AddState(fmt.Sprintf("q%d", q), outputs[q])
+		}
+		for i, res := range assign {
+			b.AddTransition(pairs[i].a, pairs[i].b, pairs[res].a, pairs[res].b)
+		}
+		b.AddInput("x", 0)
+		p, err := b.Build()
+		if err != nil {
+			// Unreachable: the enumeration is complete by construction.
+			panic(err)
+		}
+		return yield(p)
+	}
+
+	var recOutputs func(i int) bool
+	var recAssign func(i int) bool
+	recAssign = func(i int) bool {
+		if i == np {
+			return build()
+		}
+		for r := 0; r < np; r++ {
+			assign[i] = r
+			if !recAssign(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	recOutputs = func(i int) bool {
+		if i == n {
+			return recAssign(0)
+		}
+		for o := 0; o <= 1; o++ {
+			outputs[i] = o
+			if !recOutputs(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	recOutputs(0)
+}
+
+// BusyBeaver runs the empirical busy beaver search for n-state protocols.
+func BusyBeaver(n int, opts Options) BBResult {
+	maxInput := opts.MaxInput
+	if maxInput == 0 {
+		maxInput = 10
+	}
+	res := BBResult{States: n, MaxInput: maxInput, Exhaustive: true}
+	EnumerateDeterministic(n, func(p *protocol.Protocol) bool {
+		res.Candidates++
+		if opts.MaxCandidates > 0 && res.Candidates > opts.MaxCandidates {
+			res.Exhaustive = false
+			return false
+		}
+		eta, found, err := reach.ThresholdWitness(p, maxInput, opts.Limit)
+		if err != nil {
+			// Not a (converging, monotone) threshold protocol.
+			return true
+		}
+		res.Converging++
+		if !found {
+			// All tested inputs reject: behaves as x ≥ η for some η >
+			// maxInput as far as we can see; not a verified witness.
+			return true
+		}
+		if eta > res.BestEta {
+			res.BestEta = eta
+			res.Best = p
+		}
+		return true
+	})
+	return res
+}
+
+// FResult reports the Section 4.1 measurement.
+type FResult struct {
+	States     int
+	MaxInput   int64
+	Candidates int
+	// MaxMinInput is f(n) restricted to inputs ≤ MaxInput: the largest
+	// minimal input reaching an all-1 configuration.
+	MaxMinInput int64
+	Witness     *protocol.Protocol
+	Exhaustive  bool
+}
+
+// MinInputToAllOne returns the smallest input i ≤ maxInput such that IC(i)
+// can reach a configuration with all agents in output-1 states.
+func MinInputToAllOne(p *protocol.Protocol, maxInput int64, limit int) (int64, bool, error) {
+	if p.NumInputs() != 1 {
+		return 0, false, fmt.Errorf("search: MinInputToAllOne needs a single input variable")
+	}
+	for i := int64(2); i <= maxInput; i++ {
+		g, err := reach.Explore(p, p.InitialConfigN(i), limit)
+		if err != nil {
+			return 0, false, err
+		}
+		found := false
+		for k := 0; k < g.Len() && !found; k++ {
+			if b, ok := p.OutputOf(g.Config(k)); ok && b == 1 {
+				found = true
+			}
+		}
+		if found {
+			return i, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// F measures f(n) over the enumerated protocol space, restricted to inputs
+// ≤ opts.MaxInput.
+func F(n int, opts Options) (FResult, error) {
+	maxInput := opts.MaxInput
+	if maxInput == 0 {
+		maxInput = 10
+	}
+	res := FResult{States: n, MaxInput: maxInput, Exhaustive: true}
+	var firstErr error
+	EnumerateDeterministic(n, func(p *protocol.Protocol) bool {
+		res.Candidates++
+		if opts.MaxCandidates > 0 && res.Candidates > opts.MaxCandidates {
+			res.Exhaustive = false
+			return false
+		}
+		i, ok, err := MinInputToAllOne(p, maxInput, opts.Limit)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if ok && i > res.MaxMinInput {
+			res.MaxMinInput = i
+			res.Witness = p
+		}
+		return true
+	})
+	return res, firstErr
+}

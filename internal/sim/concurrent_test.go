@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/protocols"
+)
+
+func TestRunConcurrentMatchesSequential(t *testing.T) {
+	e := protocols.Succinct(2)
+	p := e.Protocol
+	c0 := p.InitialConfigN(16)
+	opts := Options{Seed: 41}
+
+	conc, err := RunConcurrent(p, c0, 8, opts, 4)
+	if err != nil {
+		t.Fatalf("RunConcurrent: %v", err)
+	}
+	if len(conc) != 8 {
+		t.Fatalf("got %d results", len(conc))
+	}
+	// Results are in seed order and identical to the corresponding
+	// sequential runs (determinism survives the worker pool).
+	for i, st := range conc {
+		o := opts
+		o.Seed = opts.Seed + uint64(i)*0x9e3779b9
+		want, err := Run(p, c0, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Interactions != want.Interactions || !st.Final.Equal(want.Final) {
+			t.Fatalf("run %d differs from sequential replay", i)
+		}
+		if !st.Converged || st.Output != 1 {
+			t.Fatalf("run %d: %+v", i, st)
+		}
+	}
+}
+
+func TestRunConcurrentWorkerEdgeCases(t *testing.T) {
+	e := protocols.Parity()
+	p := e.Protocol
+	c0 := p.InitialConfigN(5)
+	// More workers than runs.
+	res, err := RunConcurrent(p, c0, 2, Options{Seed: 1}, 16)
+	if err != nil || len(res) != 2 {
+		t.Fatalf("res=%d err=%v", len(res), err)
+	}
+	// Default workers.
+	if _, err := RunConcurrent(p, c0, 3, Options{Seed: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Zero runs rejected.
+	if _, err := RunConcurrent(p, c0, 0, Options{Seed: 1}, 2); err == nil {
+		t.Fatal("want error for 0 runs")
+	}
+	// Errors propagate (population too small).
+	if _, err := RunConcurrent(p, p.InitialConfigN(1), 3, Options{}, 2); err == nil {
+		t.Fatal("want population error")
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/protocol"
+)
+
+// WriteTraceCSV writes the trace of a run as CSV: one row per snapshot with
+// the interaction count, per-state agent counts, and the consensus output
+// (-1 while undefined). Suitable for plotting convergence figures.
+func WriteTraceCSV(w io.Writer, p *protocol.Protocol, st Stats) error {
+	if len(st.Trace) == 0 {
+		return fmt.Errorf("sim: no trace recorded (set Options.TraceEvery)")
+	}
+	header := make([]string, 0, p.NumStates()+2)
+	header = append(header, "interactions")
+	for q := 0; q < p.NumStates(); q++ {
+		header = append(header, csvEscape(p.StateName(protocol.State(q))))
+	}
+	header = append(header, "output")
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, tp := range st.Trace {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprint(tp.Interactions))
+		for _, n := range tp.Config {
+			row = append(row, fmt.Sprint(n))
+		}
+		row = append(row, fmt.Sprint(tp.Output))
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

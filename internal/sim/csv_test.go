@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protocols"
+)
+
+func TestWriteTraceCSV(t *testing.T) {
+	e := protocols.FlockOfBirds(3)
+	p := e.Protocol
+	st, err := Run(p, p.InitialConfigN(6), Options{Seed: 9, TraceEvery: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var b strings.Builder
+	if err := WriteTraceCSV(&b, p, st); err != nil {
+		t.Fatalf("WriteTraceCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(st.Trace)+1 {
+		t.Fatalf("%d lines, want %d", len(lines), len(st.Trace)+1)
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "interactions" || header[len(header)-1] != "output" {
+		t.Fatalf("header = %v", header)
+	}
+	if len(header) != p.NumStates()+2 {
+		t.Fatalf("header width %d, want %d", len(header), p.NumStates()+2)
+	}
+	// Every data row has the same width.
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != len(header) {
+			t.Fatalf("row width %d, want %d: %s", got, len(header), l)
+		}
+	}
+}
+
+func TestWriteTraceCSVNoTrace(t *testing.T) {
+	e := protocols.Parity()
+	p := e.Protocol
+	st, err := Run(p, p.InitialConfigN(4), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTraceCSV(&b, p, st); err == nil {
+		t.Fatal("want error when no trace was recorded")
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	tests := map[string]string{
+		"plain":      "plain",
+		"with,comma": `"with,comma"`,
+		`with"quote`: `"with""quote"`,
+	}
+	for in, want := range tests {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/protocol"
+)
+
+// Estimate summarises repeated simulations of one protocol and input.
+type Estimate struct {
+	Runs           int
+	Converged      int     // how many runs converged within budget
+	Output         int     // the common stable output (-1 if runs disagreed)
+	MeanParallel   float64 // mean parallel time over converged runs
+	MedianParallel float64
+	P95Parallel    float64
+	MaxParallel    float64
+}
+
+// String renders the estimate compactly.
+func (e Estimate) String() string {
+	return fmt.Sprintf("runs=%d converged=%d output=%d parallel(mean=%.1f median=%.1f p95=%.1f max=%.1f)",
+		e.Runs, e.Converged, e.Output, e.MeanParallel, e.MedianParallel, e.P95Parallel, e.MaxParallel)
+}
+
+// EstimateParallelTime runs the simulation `runs` times with distinct seeds
+// derived from opts.Seed and aggregates convergence statistics. It is the
+// workhorse of the parallel-time experiment (E10).
+func EstimateParallelTime(p *protocol.Protocol, c0 protocol.Config, runs int, opts Options) (Estimate, error) {
+	est := Estimate{Runs: runs, Output: -1}
+	var times []float64
+	for i := 0; i < runs; i++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(i)*0x9e3779b9
+		st, err := Run(p, c0, o)
+		if err != nil {
+			return est, fmt.Errorf("run %d: %w", i, err)
+		}
+		if !st.Converged {
+			continue
+		}
+		est.Converged++
+		times = append(times, st.ParallelTime)
+		switch est.Output {
+		case -1:
+			est.Output = st.Output
+		case st.Output:
+		default:
+			est.Output = -1
+			return est, fmt.Errorf("sim: runs disagree on stable output")
+		}
+	}
+	if len(times) == 0 {
+		return est, nil
+	}
+	sort.Float64s(times)
+	var sum float64
+	for _, t := range times {
+		sum += t
+	}
+	est.MeanParallel = sum / float64(len(times))
+	est.MedianParallel = quantile(times, 0.5)
+	est.P95Parallel = quantile(times, 0.95)
+	est.MaxParallel = times[len(times)-1]
+	return est, nil
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,242 @@
+// Package sim simulates population protocols under the uniform random
+// scheduler: at each step an ordered pair of distinct agents is chosen
+// uniformly at random and one of the transitions for their states fires.
+// This scheduler produces fair executions with probability 1 and underlies
+// the paper's notion of (expected) parallel runtime, defined as the number
+// of interactions divided by the number of agents.
+//
+// Convergence is detected through a pluggable stability Oracle; the package
+// provides Silence (a configuration where no transition can change anything
+// is stable with its consensus output) and callers can supply exact oracles
+// such as the stable package's symbolic stable-set membership.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/protocol"
+)
+
+// Oracle decides stability of configurations. Classify returns (b, true) if
+// the configuration is known to be b-stable; (0, false) means "unknown",
+// not "unstable" — oracles may be incomplete but must never misclassify.
+type Oracle interface {
+	Classify(c protocol.Config) (b int, ok bool)
+}
+
+// Silence is the oracle that recognises silent consensus configurations: if
+// no enabled transition changes the configuration and all agents agree on
+// output b, the configuration is b-stable.
+type Silence struct {
+	P *protocol.Protocol
+}
+
+var _ Oracle = Silence{}
+
+// Classify implements Oracle.
+func (s Silence) Classify(c protocol.Config) (int, bool) {
+	b, ok := s.P.OutputOf(c)
+	if !ok {
+		return 0, false
+	}
+	if !s.P.Silent(c) {
+		return 0, false
+	}
+	return b, true
+}
+
+// FirstOf combines oracles, returning the first definite classification.
+type FirstOf []Oracle
+
+var _ Oracle = FirstOf{}
+
+// Classify implements Oracle.
+func (f FirstOf) Classify(c protocol.Config) (int, bool) {
+	for _, o := range f {
+		if b, ok := o.Classify(c); ok {
+			return b, ok
+		}
+	}
+	return 0, false
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Seed seeds the deterministic RNG (PCG). Two runs with equal seeds and
+	// inputs are identical.
+	Seed uint64
+	// MaxSteps bounds the number of interactions; 0 means 10^6 parallel
+	// time units (10^6 · n interactions).
+	MaxSteps int64
+	// Oracle detects stability; nil defaults to Silence.
+	Oracle Oracle
+	// CheckEvery is the interaction interval between oracle checks;
+	// 0 means n (one parallel time unit).
+	CheckEvery int64
+	// TraceEvery records a configuration snapshot every TraceEvery
+	// interactions; 0 disables tracing.
+	TraceEvery int64
+	// RecordFirings collects the indices of the non-identity transitions
+	// actually fired, in order — an explicit path usable in certificates.
+	RecordFirings bool
+}
+
+// TracePoint is a snapshot taken during simulation.
+type TracePoint struct {
+	Interactions int64
+	Config       protocol.Config
+	Output       int  // -1 if undefined
+	Defined      bool // whether all agents agreed on an output
+}
+
+// Stats reports the outcome of one simulated execution.
+type Stats struct {
+	// Interactions is the number of pair interactions executed.
+	Interactions int64
+	// ParallelTime is Interactions divided by the number of agents.
+	ParallelTime float64
+	// Converged reports whether the oracle certified stability.
+	Converged bool
+	// Output is the stable output if Converged.
+	Output int
+	// ConsensusAt is the number of interactions after which the output
+	// consensus that held at detection time was first established
+	// (0 if never converged).
+	ConsensusAt int64
+	// Final is the final configuration.
+	Final protocol.Config
+	// Trace holds snapshots if Options.TraceEvery was set.
+	Trace []TracePoint
+	// Firings holds the fired non-identity transitions if
+	// Options.RecordFirings was set; replaying them from the start
+	// configuration reproduces Final exactly.
+	Firings []int
+}
+
+// Errors returned by Run.
+var (
+	ErrPopulationTooSmall = errors.New("sim: population must have at least 2 agents")
+)
+
+// Run simulates the protocol from configuration c0 until the oracle
+// certifies stability or MaxSteps interactions have happened.
+func Run(p *protocol.Protocol, c0 protocol.Config, opts Options) (Stats, error) {
+	n := c0.Size()
+	if n < 2 {
+		return Stats{}, fmt.Errorf("%w: got %d", ErrPopulationTooSmall, n)
+	}
+	if c0.Dim() != p.NumStates() {
+		return Stats{}, fmt.Errorf("sim: configuration dimension %d, want %d", c0.Dim(), p.NumStates())
+	}
+	if !c0.IsNatural() {
+		return Stats{}, fmt.Errorf("sim: configuration has negative counts: %v", c0)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1_000_000 * n
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = n
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = Silence{P: p}
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+
+	c := c0.Clone()
+	st := Stats{}
+	// Track when the current consensus run started, for ConsensusAt.
+	var consensusStart int64 = -1
+	curOutput := -1
+	if b, ok := p.OutputOf(c); ok {
+		curOutput, consensusStart = b, 0
+	}
+
+	record := func() {
+		b, ok := p.OutputOf(c)
+		if !ok {
+			b = -1
+		}
+		st.Trace = append(st.Trace, TracePoint{
+			Interactions: st.Interactions,
+			Config:       c.Clone(),
+			Output:       b,
+			Defined:      ok,
+		})
+	}
+	if opts.TraceEvery > 0 {
+		record()
+	}
+
+	// Check initial stability (e.g. constant protocols are stable at IC).
+	if b, ok := oracle.Classify(c); ok {
+		st.Converged, st.Output = true, b
+		st.ConsensusAt = 0
+		st.Final = c
+		return st, nil
+	}
+
+	for st.Interactions < maxSteps {
+		q1 := sampleState(rng, c, n, -1)
+		q2 := sampleState(rng, c, n-1, q1)
+		ts := p.TransitionsForPair(protocol.State(q1), protocol.State(q2))
+		t := ts[0]
+		if len(ts) > 1 {
+			t = ts[rng.IntN(len(ts))]
+		}
+		if d := p.Displacement(t); !d.IsZero() {
+			c.AddInPlace(d)
+			if opts.RecordFirings {
+				st.Firings = append(st.Firings, t)
+			}
+			// Maintain consensus bookkeeping only on real changes.
+			b, ok := p.OutputOf(c)
+			switch {
+			case !ok:
+				curOutput, consensusStart = -1, -1
+			case b != curOutput:
+				curOutput, consensusStart = b, st.Interactions+1
+			}
+		}
+		st.Interactions++
+		if opts.TraceEvery > 0 && st.Interactions%opts.TraceEvery == 0 {
+			record()
+		}
+		if st.Interactions%checkEvery == 0 {
+			if b, ok := oracle.Classify(c); ok {
+				st.Converged, st.Output = true, b
+				st.ConsensusAt = consensusStart
+				break
+			}
+		}
+	}
+	st.ParallelTime = float64(st.Interactions) / float64(n)
+	st.Final = c
+	if opts.TraceEvery > 0 {
+		record()
+	}
+	return st, nil
+}
+
+// sampleState draws a state proportionally to its count in c, with total
+// weight total; exclude (≥ 0) removes one agent of that state from the
+// weights, implementing sampling of the second member of an ordered pair
+// without replacement.
+func sampleState(rng *rand.Rand, c protocol.Config, total int64, exclude int) int {
+	r := rng.Int64N(total)
+	for q, cnt := range c {
+		if q == exclude {
+			cnt--
+		}
+		if r < cnt {
+			return q
+		}
+		r -= cnt
+	}
+	// Unreachable if total matches the weights; guard for safety.
+	panic("sim: sampling overran configuration weights")
+}

@@ -1,0 +1,240 @@
+// Package stable computes the stable sets of a population protocol exactly,
+// for all population sizes at once, using backward coverability — the
+// standard well-structured-transition-system algorithm, applicable here
+// because configurations under ≤ form a well-quasi-order (Dickson's lemma)
+// and firing is monotone.
+//
+// Definition 2 of the paper: a configuration C is b-stable if every
+// configuration reachable from C has output b; SC_b is the set of b-stable
+// configurations, and Lemma 3.1 shows it is downward closed. Its complement
+//
+//	U_b = { C : C can reach a configuration covering a state q with O(q) ≠ b }
+//
+// is upward closed (by monotonicity) and is computed as a backward
+// reachability fixpoint from the generators {1·q : O(q) ≠ b}: for an
+// upward-closed set with minimal element m and a transition t with
+// precondition pre(t) = ⟅p,q⟆, the minimal configurations that can fire t
+// into ↑m are max((m − Δt)⁺, pre(t)). The fixpoint terminates by Dickson's
+// lemma. SC_b is then the ideal decomposition of the complement, from which
+// the paper's basis elements (B, S) and their norms (Lemma 3.2) are read
+// off directly.
+package stable
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ideal"
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// ErrBasisTooLarge is returned when the backward fixpoint exceeds the
+// configured basis size limit.
+var ErrBasisTooLarge = errors.New("stable: backward coverability basis exceeds limit")
+
+// Analysis holds the computed stable sets of one protocol.
+type Analysis struct {
+	p *protocol.Protocol
+	// unstable[b] = U_b: configurations that can reach an agent with
+	// output ≠ b.
+	unstable [2]*ideal.UpSet
+	// sc[b] = SC_b as a downward-closed set.
+	sc [2]*ideal.DownSet
+	// iterations[b] counts fixpoint rounds, for reporting.
+	iterations [2]int
+}
+
+// Options configures Analyze.
+type Options struct {
+	// MaxBasis bounds the number of minimal elements maintained per output;
+	// 0 means 200000.
+	MaxBasis int
+}
+
+// Analyze computes SC_0 and SC_1 for the protocol.
+func Analyze(p *protocol.Protocol, opts Options) (*Analysis, error) {
+	maxBasis := opts.MaxBasis
+	if maxBasis <= 0 {
+		maxBasis = 200_000
+	}
+	a := &Analysis{p: p}
+	for b := 0; b <= 1; b++ {
+		u, iters, err := backwardCover(p, b, maxBasis)
+		if err != nil {
+			return nil, fmt.Errorf("computing U_%d: %w", b, err)
+		}
+		a.unstable[b] = u
+		a.iterations[b] = iters
+		a.sc[b] = ideal.ComplementUp(u)
+	}
+	return a, nil
+}
+
+// backwardCover computes U_b by the pred-basis fixpoint.
+func backwardCover(p *protocol.Protocol, b int, maxBasis int) (*ideal.UpSet, int, error) {
+	d := p.NumStates()
+	u := ideal.NewUpSet(d)
+	for q := 0; q < d; q++ {
+		if p.Output(protocol.State(q)) != b {
+			u.Add(multiset.Unit(d, q))
+		}
+	}
+	pres := make([]multiset.Vec, p.NumTransitions())
+	for t := 0; t < p.NumTransitions(); t++ {
+		tr := p.Transition(t)
+		pres[t] = multiset.Pair(d, int(tr.P), int(tr.Q))
+	}
+	iters := 0
+	for {
+		iters++
+		grew := false
+		basis := u.MinBasis()
+		for _, m := range basis {
+			for t := 0; t < p.NumTransitions(); t++ {
+				delta := p.Displacement(t)
+				if delta.IsZero() {
+					continue
+				}
+				pre := m.Sub(delta).Clip().Max(pres[t])
+				if u.Add(pre) {
+					grew = true
+				}
+			}
+		}
+		if u.Size() > maxBasis {
+			return nil, iters, fmt.Errorf("%w: %d elements", ErrBasisTooLarge, u.Size())
+		}
+		if !grew {
+			return u, iters, nil
+		}
+	}
+}
+
+// Protocol returns the analyzed protocol.
+func (a *Analysis) Protocol() *protocol.Protocol { return a.p }
+
+// StableSet returns SC_b as a downward-closed set. The returned set is
+// shared; callers must not modify it.
+func (a *Analysis) StableSet(b int) *ideal.DownSet { return a.sc[b] }
+
+// SC returns SC = SC_0 ∪ SC_1.
+func (a *Analysis) SC() *ideal.DownSet { return a.sc[0].Union(a.sc[1]) }
+
+// Unstable returns U_b, the upward-closed complement of SC_b.
+func (a *Analysis) Unstable(b int) *ideal.UpSet { return a.unstable[b] }
+
+// Iterations returns the number of fixpoint rounds used for U_b.
+func (a *Analysis) Iterations(b int) int { return a.iterations[b] }
+
+// IsStable reports whether configuration c is b-stable.
+func (a *Analysis) IsStable(c protocol.Config, b int) bool {
+	return !a.unstable[b].Contains(c)
+}
+
+// Classify returns (b, true) if c is b-stable for some b. It implements the
+// sim package's Oracle interface, giving simulations an exact convergence
+// detector.
+func (a *Analysis) Classify(c protocol.Config) (int, bool) {
+	if a.IsStable(c, 0) {
+		return 0, true
+	}
+	if a.IsStable(c, 1) {
+		return 1, true
+	}
+	return 0, false
+}
+
+// BasisElement is a (B, S) pair as in Section 3: the ideal B + ℕ^S.
+type BasisElement struct {
+	B multiset.Vec
+	S map[int]bool
+}
+
+// Norm returns ‖(B,S)‖∞ = ‖B‖∞.
+func (e BasisElement) Norm() int64 { return e.B.NormInf() }
+
+// Contains reports whether c ∈ ↓(B + ℕ^S), the downward closure of the
+// basis element's ideal (see the package comment of ideal for the exact-form
+// correspondence).
+func (e BasisElement) Contains(c protocol.Config) bool {
+	for i, v := range c {
+		if !e.S[i] && v > e.B[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Basis returns the basis elements of SC_b derived from its ideal
+// decomposition.
+func (a *Analysis) Basis(b int) []BasisElement {
+	return basisOf(a.sc[b])
+}
+
+// SCBasis returns the basis elements of SC = SC_0 ∪ SC_1.
+func (a *Analysis) SCBasis() []BasisElement {
+	return basisOf(a.SC())
+}
+
+func basisOf(ds *ideal.DownSet) []BasisElement {
+	ids := ds.Ideals()
+	out := make([]BasisElement, len(ids))
+	for i, id := range ids {
+		out[i] = BasisElement{B: id.B(), S: id.S()}
+	}
+	return out
+}
+
+// MeasuredNorm returns the maximal basis-element norm of SC — the measured
+// counterpart of the small basis constant β(n) of Lemma 3.2/Definition 3.
+func (a *Analysis) MeasuredNorm() int64 {
+	return a.SC().Norm()
+}
+
+// DecomposeStable splits a stable configuration as c = B + Da with
+// Da ∈ ℕ^S for a basis element (B, S) of SC, choosing the ideal that
+// maximises the agents carried by S (i.e. minimises |B| = c(Q∖S), the
+// choice that makes Lemma 5.5's concentration argument work). The returned
+// B agrees with c outside S and is 0 on S, so B + ℕ^S ⊆ SC holds exactly
+// in the paper's sense. ok is false if c is not stable.
+func (a *Analysis) DecomposeStable(c protocol.Config) (B multiset.Vec, S map[int]bool, Da multiset.Vec, ok bool) {
+	e, found := a.FindStableIdeal(c)
+	if !found {
+		return nil, nil, nil, false
+	}
+	B = multiset.New(c.Dim())
+	Da = multiset.New(c.Dim())
+	for i, v := range c {
+		if e.S[i] {
+			Da[i] = v
+		} else {
+			B[i] = v
+		}
+	}
+	return B, e.S, Da, true
+}
+
+// FindStableIdeal returns the basis element of SC whose ideal contains c,
+// preferring (as Lemma 5.5 does) one whose S-part carries most of c's
+// agents. ok is false if c is not stable.
+func (a *Analysis) FindStableIdeal(c protocol.Config) (BasisElement, bool) {
+	best := BasisElement{}
+	found := false
+	var bestOnS int64 = -1
+	for _, e := range a.SCBasis() {
+		if !e.Contains(c) {
+			continue
+		}
+		var onS int64
+		for i, v := range c {
+			if e.S[i] {
+				onS += v
+			}
+		}
+		if onS > bestOnS {
+			best, bestOnS, found = e, onS, true
+		}
+	}
+	return best, found
+}
