@@ -1,6 +1,7 @@
 package pp_test
 
 import (
+	"context"
 	"testing"
 
 	pp "repro"
@@ -184,6 +185,54 @@ func BenchmarkVerifyExhaustive(b *testing.B) {
 		rep, err := reach.VerifyRange(e.Protocol, e.Pred, 2, 8, 0)
 		if err != nil || !rep.AllOK() {
 			b.Fatalf("%v / %v", err, rep)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine cache benchmarks: the memoization win for repeated requests
+// against the same protocol (stable-set analysis behind the content-hash
+// cache). Miss recomputes the artifact every iteration; hit serves it from
+// the cache.
+// ---------------------------------------------------------------------------
+
+var engineStableReq = pp.Request{
+	Kind:     pp.KindStable,
+	Protocol: pp.ProtocolRef{Spec: "binary:11"},
+}
+
+// BenchmarkEngineCacheMiss measures a cold engine per iteration: every
+// stable request recomputes the backward-coverability analysis.
+func BenchmarkEngineCacheMiss(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		eng := pp.NewEngine()
+		res, err := eng.Do(ctx, engineStableReq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheHit {
+			b.Fatal("cold engine must miss")
+		}
+	}
+}
+
+// BenchmarkEngineCacheHit measures a warmed engine: identical requests are
+// served from the content-hash cache.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	ctx := context.Background()
+	eng := pp.NewEngine()
+	if _, err := eng.Do(ctx, engineStableReq); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Do(ctx, engineStableReq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("warm engine must hit")
 		}
 	}
 }

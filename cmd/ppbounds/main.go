@@ -11,20 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
 
-	"repro/internal/bounds"
-	"repro/internal/protocols"
+	"repro/internal/cli"
+	"repro/internal/engine"
 )
 
-func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ppbounds:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("ppbounds", run) }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppbounds", flag.ContinueOnError)
@@ -36,35 +31,34 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	req := engine.Request{Kind: engine.KindBounds, States: *n, Transitions: *t}
 	if *spec != "" {
-		e, err := protocols.FromName(*spec)
-		if err != nil {
-			return err
-		}
-		*n = int64(e.Protocol.NumStates())
-		*t = int64(e.Protocol.NumTransitions())
-		fmt.Printf("protocol %s: |Q| = %d, |T| = %d, leaderless = %t\n\n",
-			e.Protocol.Name(), *n, *t, e.Protocol.Leaderless())
-	}
-	if *n < 1 {
+		req.Protocol = engine.ProtocolRef{Spec: *spec}
+	} else if *n < 1 {
 		return fmt.Errorf("need -n ≥ 1 or -protocol")
 	}
-	if *t == 0 {
-		*t = *n * (*n + 1) / 2
-	}
 
-	fmt.Printf("paper constants for n = %d states, |T| = %d transitions\n", *n, *t)
-	fmt.Printf("  β(n)  = 2^(2(2n+1)!+1)        = %s\n", bounds.Beta(*n))
-	fmt.Printf("  ϑ(n)  = 2^((2n+2)!)           = %s\n", bounds.Theta(*n))
-	fmt.Printf("  ξ     = 2(2|T|+1)^|Q|         = %s\n", bounds.Xi(*t, *n))
+	res, err := engine.New().Do(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	if info := res.Protocol; info != nil {
+		fmt.Printf("protocol %s: |Q| = %d, |T| = %d, leaderless = %t\n\n",
+			info.Name, info.States, info.Transitions, info.Leaderless)
+	}
+	b := res.Bounds
+	fmt.Printf("paper constants for n = %d states, |T| = %d transitions\n", b.States, b.Transitions)
+	fmt.Printf("  β(n)  = 2^(2(2n+1)!+1)        = %s\n", b.Beta)
+	fmt.Printf("  ϑ(n)  = 2^((2n+2)!)           = %s\n", b.Theta)
+	fmt.Printf("  ξ     = 2(2|T|+1)^|Q|         = %s\n", b.Xi)
 	fmt.Printf("  ξdet  = 2(|Q|+2)^|Q|          = %s   (Remark 1, deterministic protocols)\n",
-		bounds.XiDeterministic(*n))
+		b.XiDeterministic)
 	fmt.Println()
 	fmt.Printf("busy beaver bounds\n")
-	fmt.Printf("  BB(n)  ≥ %s    (Theorem 2.2 via P'_(n−2))\n", bounds.BBLowerLeaderless(*n))
-	fmt.Printf("  BB(n)  ≤ ξ·n·β·3ⁿ = %s    (Theorem 5.9, leaderless)\n", bounds.Theorem59(*n, *t))
-	fmt.Printf("  BB(n)  ≤ 2^((2n+2)!) = %s    (Theorem 5.9, simplified)\n", bounds.Theorem59Simplified(*n))
-	fmt.Printf("  BBL(n) ≥ %s    (Theorem 2.2, with leaders)\n", bounds.BBLLowerWithLeaders(*n))
+	fmt.Printf("  BB(n)  ≥ %s    (Theorem 2.2 via P'_(n−2))\n", b.BBLowerLeaderless)
+	fmt.Printf("  BB(n)  ≤ ξ·n·β·3ⁿ = %s    (Theorem 5.9, leaderless)\n", b.Theorem59)
+	fmt.Printf("  BB(n)  ≤ 2^((2n+2)!) = %s    (Theorem 5.9, simplified)\n", b.Theorem59Simplified)
+	fmt.Printf("  BBL(n) ≥ %s    (Theorem 2.2, with leaders)\n", b.BBLLowerWithLeaders)
 	fmt.Printf("  BBL(n) < F_{ℓ,ϑ(n)} at level F_ω of the Fast-Growing Hierarchy (Theorem 4.5)\n")
 	return nil
 }

@@ -15,27 +15,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
+	"repro/internal/engine"
 	"repro/internal/protocol"
-	"repro/internal/protocols"
 	"repro/internal/pump"
 )
 
-func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ppcertify:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("ppcertify", run) }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppcertify", flag.ContinueOnError)
 	var (
-		spec     = fs.String("protocol", "", "built-in protocol spec")
+		spec     = fs.String("protocol", "", cli.SpecUsage)
 		file     = fs.String("file", "", "JSON protocol file")
 		pipeline = fs.String("pipeline", "leaderless", "proof pipeline: leaderless (Thm 5.9) or chain (Thm 4.5)")
 		out      = fs.String("o", "", "write the certificate JSON to this file")
@@ -45,52 +42,46 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := loadProtocol(*spec, *file)
+	ref, err := cli.ProtocolRef(*spec, *file)
 	if err != nil {
 		return err
 	}
+	eng := engine.New()
+	entry, err := eng.Resolve(ref)
+	if err != nil {
+		return err
+	}
+	p := entry.Protocol
 	fmt.Printf("protocol: %s (%d states, leaderless=%t)\n", p.Name(), p.NumStates(), p.Leaderless())
 
 	if *check != "" {
 		return checkFile(p, *pipeline, *check)
 	}
 
-	var (
-		data []byte
-		a, b int64
-	)
+	var kind engine.Kind
 	switch *pipeline {
 	case "leaderless":
-		cert, err := pump.FindLeaderless(p, pump.FindOptions{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		if err := pump.CheckLeaderless(p, cert, nil); err != nil {
-			return fmt.Errorf("self-check failed: %w", err)
-		}
-		a, b = cert.A, cert.B
-		data, err = json.MarshalIndent(cert, "", "  ")
-		if err != nil {
-			return err
-		}
+		kind = engine.KindCertifyLeaderless
 	case "chain":
-		cert, err := pump.FindChain(p, pump.FindOptions{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		if err := pump.CheckChain(p, cert, nil); err != nil {
-			return fmt.Errorf("self-check failed: %w", err)
-		}
-		a, b = cert.A, cert.B
-		data, err = json.MarshalIndent(cert, "", "  ")
-		if err != nil {
-			return err
-		}
+		kind = engine.KindCertifyChain
 	default:
 		return fmt.Errorf("unknown pipeline %q (leaderless|chain)", *pipeline)
 	}
+	res, err := eng.Do(context.Background(), engine.Request{Kind: kind, Protocol: ref, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	cert := res.Certificate
+	var payload any = cert.Leaderless
+	if cert.Chain != nil {
+		payload = cert.Chain
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
 	fmt.Printf("certificate found and checked: if %s computes x ≥ η, then η ≤ %d (pump step %d)\n",
-		p.Name(), a, b)
+		p.Name(), cert.A, cert.B)
 	if *out != "" {
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
 			return err
@@ -130,25 +121,4 @@ func checkFile(p *protocol.Protocol, pipeline, path string) error {
 		return fmt.Errorf("unknown pipeline %q", pipeline)
 	}
 	return nil
-}
-
-func loadProtocol(spec, file string) (*protocol.Protocol, error) {
-	switch {
-	case spec != "" && file != "":
-		return nil, fmt.Errorf("use either -protocol or -file, not both")
-	case spec != "":
-		e, err := protocols.FromName(spec)
-		if err != nil {
-			return nil, err
-		}
-		return e.Protocol, nil
-	case file != "":
-		data, err := os.ReadFile(file)
-		if err != nil {
-			return nil, err
-		}
-		return protocol.Parse(data)
-	default:
-		return nil, fmt.Errorf("missing -protocol or -file")
-	}
 }

@@ -16,15 +16,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
-func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ppexperiments:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("ppexperiments", run) }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppexperiments", flag.ContinueOnError)

@@ -12,18 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/search"
 )
 
-func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ppsearch:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("ppsearch", run) }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppsearch", flag.ContinueOnError)

@@ -1,0 +1,85 @@
+// Command ppserve is the analysis-engine HTTP daemon: every analysis the
+// pp library offers (simulation, exact verification, stable sets, pumping
+// certificates, saturation, realisable bases, bounds) behind one JSON API.
+//
+// Usage:
+//
+//	ppserve                          # listen on :8080
+//	ppserve -addr 127.0.0.1:9000 -timeout 10s -max-timeout 1m
+//
+// Endpoints:
+//
+//	POST /v1/analyze   {"kind":"simulate","protocol":{"spec":"flock:8"},"input":[20]}
+//	GET  /v1/catalog   resolvable specs + built-in protocol zoo
+//	GET  /healthz      liveness probe
+//
+// Requests are handled concurrently against a shared engine whose
+// content-hash cache memoizes per-protocol artifacts, so repeated analyses
+// of the same protocol are near-free. Each request runs under a deadline
+// (its own timeoutMillis, clamped to -max-timeout; else -timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/engine"
+	"repro/internal/serve"
+)
+
+func main() { cli.Main("ppserve", run) }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ppserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "ceiling for request-supplied deadlines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveOn(ctx, ln, serve.Options{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout})
+}
+
+// serveOn runs the daemon on an existing listener until ctx is cancelled,
+// then shuts down gracefully. Split from run so tests can drive a real
+// server on an ephemeral port.
+func serveOn(ctx context.Context, ln net.Listener, opts serve.Options) error {
+	srv := &http.Server{
+		Handler:           serve.NewHandler(engine.New(), opts),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ppserve: listening on %s\n", ln.Addr())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

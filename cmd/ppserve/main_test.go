@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/serve"
+)
+
+// TestServeEndToEnd boots the real daemon on an ephemeral port and drives
+// it over TCP: a simulate request and a verify request must both answer,
+// plus catalog and health.
+func TestServeEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ctx, ln, serve.Options{}) }()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	post := func(body string) (*http.Response, *engine.Result) {
+		t.Helper()
+		resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var res engine.Result
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, &res
+	}
+
+	// Simulate end-to-end.
+	resp, res := post(`{"kind":"simulate","protocol":{"spec":"flock:4"},"input":[8],"seed":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d", resp.StatusCode)
+	}
+	if res.Simulation == nil || !res.Simulation.Converged || res.Simulation.Output != 1 {
+		t.Fatalf("simulate: bad result %+v", res.Simulation)
+	}
+
+	// Verify end-to-end.
+	resp, res = post(`{"kind":"verify","protocol":{"spec":"majority"},"maxSize":6}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify status %d", resp.StatusCode)
+	}
+	if res.Verification == nil || !res.Verification.AllOK {
+		t.Fatalf("verify: bad result %+v", res.Verification)
+	}
+
+	// Catalog and health.
+	for _, path := range []string{"/v1/catalog", "/healthz"} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// Graceful shutdown.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveOn: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-address"}); err == nil {
+		t.Error("bad address should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

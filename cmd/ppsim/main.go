@@ -12,30 +12,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/multiset"
-	"repro/internal/protocol"
-	"repro/internal/protocols"
-	"repro/internal/sim"
-	"repro/internal/stable"
+	"repro/internal/cli"
+	"repro/internal/engine"
 )
 
-func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ppsim:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("ppsim", run) }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppsim", flag.ContinueOnError)
 	var (
-		spec  = fs.String("protocol", "", "built-in protocol spec (flock:η, succinct:k, binary:η, majority, parity, mod:m:r, leaderflock:η)")
+		spec  = fs.String("protocol", "", cli.SpecUsage)
 		file  = fs.String("file", "", "JSON protocol file (alternative to -protocol)")
 		input = fs.String("input", "", "input multiset, e.g. \"20\" or \"12,9\" for two variables")
 		seed  = fs.Uint64("seed", 1, "RNG seed")
@@ -47,11 +37,17 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := loadProtocol(*spec, *file)
+	ref, err := cli.ProtocolRef(*spec, *file)
 	if err != nil {
 		return err
 	}
-	in, err := parseInput(*input, p.NumInputs())
+	eng := engine.New()
+	entry, err := eng.Resolve(ref)
+	if err != nil {
+		return err
+	}
+	p := entry.Protocol
+	in, err := cli.ParseInput(*input, p.NumInputs())
 	if err != nil {
 		return err
 	}
@@ -59,79 +55,36 @@ func run(args []string) error {
 	fmt.Printf("protocol: %s (%d states, %d transitions)\n", p.Name(), p.NumStates(), p.NumTransitions())
 	fmt.Printf("input: %v → IC = %s (%d agents)\n", in, p.FormatConfig(c0), c0.Size())
 
-	opts := sim.Options{Seed: *seed, MaxSteps: *steps, TraceEvery: *trace}
-	if *exact {
-		a, err := stable.Analyze(p, stable.Options{})
-		if err != nil {
-			return fmt.Errorf("stable-set analysis: %w", err)
-		}
-		opts.Oracle = a
-	}
-	if *runs <= 1 {
-		st, err := sim.Run(p, c0, opts)
-		if err != nil {
-			return err
-		}
-		for _, tp := range st.Trace {
-			fmt.Printf("  t=%-10d %s\n", tp.Interactions, p.FormatConfig(tp.Config))
-		}
-		if !st.Converged {
-			fmt.Printf("did not converge within %d interactions (parallel time %.1f)\n",
-				st.Interactions, st.ParallelTime)
-			return nil
-		}
-		fmt.Printf("stable output: %d after %d interactions (parallel time %.1f, consensus at %d)\n",
-			st.Output, st.Interactions, st.ParallelTime, st.ConsensusAt)
-		fmt.Printf("final configuration: %s\n", p.FormatConfig(st.Final))
-		return nil
-	}
-	est, err := sim.EstimateParallelTime(p, c0, *runs, opts)
+	res, err := eng.Do(context.Background(), engine.Request{
+		Kind:        engine.KindSimulate,
+		Protocol:    ref,
+		Input:       in,
+		Seed:        *seed,
+		MaxSteps:    *steps,
+		Runs:        *runs,
+		ExactOracle: *exact,
+		TraceEvery:  *trace,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println(est)
+	st := res.Simulation
+	if est := st.Estimate; est != nil {
+		fmt.Printf("runs=%d converged=%d output=%d parallel(mean=%.1f median=%.1f p95=%.1f max=%.1f)\n",
+			est.Runs, est.Converged, est.Output,
+			est.MeanParallel, est.MedianParallel, est.P95Parallel, est.MaxParallel)
+		return nil
+	}
+	for _, tp := range st.Trace {
+		fmt.Printf("  t=%-10d %s\n", tp.Interactions, tp.Config)
+	}
+	if !st.Converged {
+		fmt.Printf("did not converge within %d interactions (parallel time %.1f)\n",
+			st.Interactions, st.ParallelTime)
+		return nil
+	}
+	fmt.Printf("stable output: %d after %d interactions (parallel time %.1f, consensus at %d)\n",
+		st.Output, st.Interactions, st.ParallelTime, st.ConsensusAt)
+	fmt.Printf("final configuration: %s\n", st.FinalFormatted)
 	return nil
-}
-
-func loadProtocol(spec, file string) (*protocol.Protocol, error) {
-	switch {
-	case spec != "" && file != "":
-		return nil, fmt.Errorf("use either -protocol or -file, not both")
-	case spec != "":
-		e, err := protocols.FromName(spec)
-		if err != nil {
-			return nil, err
-		}
-		return e.Protocol, nil
-	case file != "":
-		data, err := os.ReadFile(file)
-		if err != nil {
-			return nil, err
-		}
-		return protocol.Parse(data)
-	default:
-		return nil, fmt.Errorf("missing -protocol or -file")
-	}
-}
-
-func parseInput(s string, arity int) (multiset.Vec, error) {
-	if s == "" {
-		return nil, fmt.Errorf("missing -input")
-	}
-	parts := strings.Split(s, ",")
-	if len(parts) != arity {
-		return nil, fmt.Errorf("input has %d components, protocol expects %d", len(parts), arity)
-	}
-	v := multiset.New(arity)
-	for i, part := range parts {
-		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("bad input component %q", part)
-		}
-		v[i] = n
-	}
-	if v.Size() < 2 {
-		return nil, fmt.Errorf("populations need at least 2 agents, got %d", v.Size())
-	}
-	return v, nil
 }

@@ -9,22 +9,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/pred"
-	"repro/internal/protocol"
-	"repro/internal/protocols"
-	"repro/internal/reach"
+	"repro/internal/cli"
+	"repro/internal/engine"
 )
 
-func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ppverify:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("ppverify", run) }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppverify", flag.ContinueOnError)
@@ -41,46 +35,40 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var (
-		p   *protocol.Protocol
-		phi pred.Pred
-	)
-	switch {
-	case *spec != "":
-		e, err := protocols.FromName(*spec)
-		if err != nil {
-			return err
-		}
-		p, phi = e.Protocol, e.Pred
-	case *file != "":
-		data, err := os.ReadFile(*file)
-		if err != nil {
-			return err
-		}
-		p, err = protocol.Parse(data)
-		if err != nil {
-			return err
-		}
-		switch {
-		case *threshold > 0:
-			phi = pred.NewCounting(*threshold)
-		case *modM > 0:
-			phi = pred.NewModCounting(*modM, *modR)
-		default:
-			return fmt.Errorf("file protocols need -threshold or -mod/-res")
-		}
-	default:
-		return fmt.Errorf("missing -protocol or -file")
-	}
-
-	fmt.Printf("protocol: %s (%d states)\npredicate: %s\n", p.Name(), p.NumStates(), phi)
-	rep, err := reach.VerifyRange(p, phi, *minSize, *maxSize, *limit)
+	ref, err := cli.ProtocolRef(*spec, *file)
 	if err != nil {
 		return err
 	}
-	fmt.Println(rep)
-	if !rep.AllOK() {
+	req := engine.Request{
+		Kind:     engine.KindVerify,
+		Protocol: ref,
+		MinSize:  *minSize,
+		MaxSize:  *maxSize,
+		Limit:    *limit,
+	}
+	// Builtin specs are verified against their own predicate; the
+	// -threshold/-mod flags apply to file protocols only (as before the
+	// engine rewrite).
+	if *file != "" {
+		switch {
+		case *threshold > 0:
+			req.Predicate = &engine.PredicateSpec{Kind: "counting", Threshold: *threshold}
+		case *modM > 0:
+			req.Predicate = &engine.PredicateSpec{Kind: "mod", Modulus: *modM, Residue: *modR}
+		default:
+			return fmt.Errorf("file protocols need -threshold or -mod/-res")
+		}
+	}
+
+	eng := engine.New()
+	res, err := eng.Do(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol: %s (%d states)\npredicate: %s\n",
+		res.Protocol.Name, res.Protocol.States, res.Verification.Predicate)
+	fmt.Println(res.Verification.Summary)
+	if !res.Verification.AllOK {
 		os.Exit(2)
 	}
 	return nil

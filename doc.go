@@ -10,7 +10,38 @@
 // paper bounds the *busy beaver function* of the model: how large a
 // threshold η can a protocol with n states decide (predicate x ≥ η)?
 //
-// The library provides, per the paper's structure:
+// # The analysis engine
+//
+// The public surface is the analysis engine: one typed, JSON-round-trippable
+// Request/Result model covering every analysis in the library.
+//
+//	eng := pp.NewEngine()
+//	res, err := eng.Do(ctx, pp.Request{
+//		Kind:     pp.KindSimulate,
+//		Protocol: pp.ProtocolRef{Spec: "flock:8"},
+//		Input:    []int64{20},
+//	})
+//
+// Request kinds: simulate (stochastic simulation), verify (exact per-input
+// verification), stable (stable sets SC_0/SC_1 with ideal bases),
+// certify-chain and certify-leaderless (the paper's executable pumping
+// certificates, Theorems 4.5 and 5.9), saturate (Lemma 5.4), basis
+// (potentially realisable transition multisets, Definition 4), and bounds
+// (the paper's constants β, ϑ, ξ in exact arithmetic).
+//
+// Protocols are resolved through a registry: compact spec strings
+// ("flock:8", "binary:11", "mod:3:1"), inline JSON protocols (the Spec
+// interchange format), or user constructors added with pp.Register. The
+// engine memoizes expensive per-protocol artifacts — stable-set analyses
+// and realisable bases — behind a content-hash cache, so repeated requests
+// against the same protocol are near-free; Do takes a context.Context for
+// cancellation and per-request deadlines. The cmd/ppserve daemon exposes
+// the same model over HTTP (POST /v1/analyze), and all command line tools
+// are thin adapters over it.
+//
+// # The library underneath
+//
+// The internal packages provide, per the paper's structure:
 //
 //   - the protocol model, a zoo of classic constructions (Example 2.1's
 //     flock-of-birds and succinct protocols, binary thresholds, majority,
@@ -29,7 +60,11 @@
 //     Fast-Growing Hierarchy fragment of Section 4, and an exhaustive busy
 //     beaver search for tiny protocols.
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the reproduced results (regenerate them with
-// `go run ./cmd/ppexperiments`).
+// Direct library entry points (Simulate, Verify, AnalyzeStableSets, the
+// certificate finders, ...) remain exported for programmatic use when the
+// request model is too coarse.
+//
+// See examples/quickstart for the engine walkthrough, examples/serve for
+// the HTTP API, and EXPERIMENTS.md for the reproduced results (regenerate
+// them with `go run ./cmd/ppexperiments`).
 package pp

@@ -1,5 +1,6 @@
-// Quickstart: build a population protocol from scratch, verify it exactly,
-// and simulate it.
+// Quickstart: build a population protocol from scratch, then analyse it
+// through the pp.Engine request/result API — the same typed model the
+// ppserve HTTP daemon speaks.
 //
 // The protocol is the classic 4-state majority: agents start as A or B
 // partisans, opposite partisans cancel into passive followers, and
@@ -10,14 +11,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 
 	pp "repro"
-	"repro/internal/multiset"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Build the protocol with the Builder API.
 	b := pp.NewBuilder("my-majority")
 	A := b.AddState("A", 1) // active A partisan, output "yes"
@@ -36,35 +40,57 @@ func main() {
 	}
 	fmt.Println(p)
 
-	// 2. Verify exactly — for every input with up to 10 agents, all fair
-	// executions stabilise to the correct answer (bottom-SCC analysis).
-	report, err := pp.Verify(p, pp.MajorityPred(), 2, 10, 0)
+	// 2. Hand it to the engine as an inline protocol. Requests are plain
+	// JSON values — the same bytes work against `ppserve` over HTTP.
+	inline, err := json.Marshal(p)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("exact verification:", report)
+	eng := pp.NewEngine()
+	ref := pp.ProtocolRef{Inline: inline}
 
-	// 3. Simulate a larger population under the random scheduler. (Note:
+	// 3. Verify exactly — for every input with up to 10 agents, all fair
+	// executions stabilise to the correct answer (bottom-SCC analysis).
+	res, err := eng.Do(ctx, pp.Request{
+		Kind:      pp.KindVerify,
+		Protocol:  ref,
+		Predicate: &pp.PredicateSpec{Kind: "majority"},
+		MaxSize:   10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact verification:", res.Verification.Summary)
+
+	// 4. Simulate a larger population under the random scheduler. (Note:
 	// this protocol is *exact* under fairness for every input, but its
 	// tie-breaking rule makes narrow A-majorities exponentially slow in
 	// practice — a decisive margin converges in O(n log n)-ish time. The
 	// state-complexity/runtime trade-off is exactly the tension the paper's
 	// introduction describes.)
-	input := multiset.Vec{700, 100} // 700 As vs 100 Bs
-	st, err := pp.Simulate(p, p.InitialConfig(input), pp.SimOptions{Seed: 2024})
+	res, err = eng.Do(ctx, pp.Request{
+		Kind:     pp.KindSimulate,
+		Protocol: ref,
+		Input:    []int64{700, 100}, // 700 As vs 100 Bs
+		Seed:     2024,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !st.Converged {
-		fmt.Printf("simulated %v: no consensus within %d interactions\n", input, st.Interactions)
+	if st := res.Simulation; !st.Converged {
+		fmt.Printf("simulated: no consensus within %d interactions\n", st.Interactions)
 	} else {
-		fmt.Printf("simulated %v: stable output %d after %.1f parallel time units\n",
-			input, st.Output, st.ParallelTime)
+		fmt.Printf("simulated: stable output %d after %.1f parallel time units\n",
+			st.Output, st.ParallelTime)
 	}
 
-	// 4. The paper's question: how few states could any protocol deciding
+	// 5. The paper's question: how few states could any protocol deciding
 	// this kind of predicate have? For thresholds x ≥ η the answer is
 	// bounded by Theorem 5.9:
-	n, t := int64(p.NumStates()), int64(p.NumTransitions())
-	fmt.Printf("Theorem 5.9 bound for %d states: η ≤ %s\n", n, pp.Theorem59Bound(n, t))
+	res, err = eng.Do(ctx, pp.Request{Kind: pp.KindBounds, Protocol: ref})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem 5.9 bound for %d states: η ≤ %s\n",
+		res.Bounds.States, res.Bounds.Theorem59)
 }

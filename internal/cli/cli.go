@@ -1,0 +1,74 @@
+// Package cli is the shared plumbing of the command line tools: protocol
+// reference flags, input parsing, and the common main wrapper. Every cmd/
+// tool is a thin adapter that builds an engine.Request from its flags and
+// formats the engine.Result; the analysis itself lives in internal/engine.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/multiset"
+	"repro/internal/protocols"
+)
+
+// Main runs a tool's entry function on os.Args and exits non-zero on error,
+// prefixing the message with the tool name.
+func Main(name string, run func(args []string) error) {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// SpecUsage is the flag help text for -protocol spec flags, generated from
+// the builtin spec table so it never goes stale.
+var SpecUsage = "built-in protocol spec (" + strings.Join(protocols.SpecHelp(), ", ") + ")"
+
+// ProtocolRef builds the engine protocol reference from the -protocol and
+// -file flag pair: exactly one must be set, and -file is read here so the
+// request carries the protocol inline (making it self-contained).
+func ProtocolRef(spec, file string) (engine.ProtocolRef, error) {
+	switch {
+	case spec != "" && file != "":
+		return engine.ProtocolRef{}, fmt.Errorf("use either -protocol or -file, not both")
+	case spec != "":
+		return engine.ProtocolRef{Spec: spec}, nil
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return engine.ProtocolRef{}, err
+		}
+		return engine.ProtocolRef{Inline: data}, nil
+	default:
+		return engine.ProtocolRef{}, fmt.Errorf("missing -protocol or -file")
+	}
+}
+
+// ParseInput parses a comma-separated input multiset ("20", "12,9") and
+// validates it against the protocol arity via engine.ValidateInput — the
+// single implementation of the arity and ≥2-agents rules. Pass arity < 0 to
+// skip validation (when the arity is not yet known).
+func ParseInput(s string, arity int) (multiset.Vec, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -input")
+	}
+	parts := strings.Split(s, ",")
+	v := multiset.New(len(parts))
+	for i, part := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input component %q", part)
+		}
+		v[i] = n
+	}
+	if arity >= 0 {
+		if err := engine.ValidateInput(v, arity); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/multiset"
+)
+
+func TestParseInputValid(t *testing.T) {
+	cases := []struct {
+		s     string
+		arity int
+		want  multiset.Vec
+	}{
+		{"20", 1, multiset.Vec{20}},
+		{"12,9", 2, multiset.Vec{12, 9}},
+		{" 3 , 4 ", 2, multiset.Vec{3, 4}},
+		{"0,5", 2, multiset.Vec{0, 5}},
+		{"7,-1", -1, multiset.Vec{7, -1}}, // arity < 0 skips validation
+	}
+	for _, tc := range cases {
+		got, err := ParseInput(tc.s, tc.arity)
+		if err != nil {
+			t.Errorf("ParseInput(%q, %d): %v", tc.s, tc.arity, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseInput(%q): got %v, want %v", tc.s, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseInput(%q): got %v, want %v", tc.s, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestParseInputErrors(t *testing.T) {
+	cases := map[string]struct {
+		s     string
+		arity int
+		hint  string
+	}{
+		"empty":          {"", 1, "missing -input"},
+		"garbage":        {"abc", 1, "bad input component"},
+		"arity mismatch": {"4", 2, "input has 1 components, protocol expects 2"},
+		"extra arity":    {"4,5,6", 2, "input has 3 components, protocol expects 2"},
+		"negative":       {"-3", 1, "bad input component"},
+		"one agent":      {"1", 1, "at least 2 agents"},
+		"zero agents":    {"0,0", 2, "at least 2 agents"},
+	}
+	for name, tc := range cases {
+		_, err := ParseInput(tc.s, tc.arity)
+		if err == nil {
+			t.Errorf("%s: ParseInput(%q, %d) should fail", name, tc.s, tc.arity)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.hint) {
+			t.Errorf("%s: error %q should mention %q", name, err, tc.hint)
+		}
+	}
+}
+
+func TestProtocolRef(t *testing.T) {
+	ref, err := ProtocolRef("flock:5", "")
+	if err != nil || ref.Spec != "flock:5" || len(ref.Inline) != 0 {
+		t.Errorf("spec ref: %+v, %v", ref, err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ref, err = ProtocolRef("", path)
+	if err != nil || ref.Spec != "" || string(ref.Inline) != `{"name":"x"}` {
+		t.Errorf("file ref: %+v, %v", ref, err)
+	}
+
+	if _, err := ProtocolRef("", ""); err == nil {
+		t.Error("neither source should fail")
+	}
+	if _, err := ProtocolRef("flock:5", path); err == nil {
+		t.Error("both sources should fail")
+	}
+	if _, err := ProtocolRef("", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

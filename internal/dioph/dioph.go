@@ -28,7 +28,13 @@ type Options struct {
 	// MaxCandidates bounds the total number of frontier vectors examined;
 	// 0 means 2,000,000.
 	MaxCandidates int
+	// Interrupt, when non-nil, cancels the search cooperatively: the
+	// solver aborts with ErrInterrupted soon after the channel closes.
+	Interrupt <-chan struct{}
 }
+
+// ErrInterrupted is returned when Options.Interrupt closes mid-search.
+var ErrInterrupted = errors.New("dioph: interrupted")
 
 // HilbertBasisEq returns all ≤-minimal non-zero solutions of A·y = 0 over
 // ℕ^v, where A has rows A[i] of length v. Every solution of the system is a
@@ -76,6 +82,13 @@ func HilbertBasisEq(a [][]int64, v int, opts Options) ([]multiset.Vec, error) {
 			examined++
 			if examined > budget {
 				return nil, fmt.Errorf("%w: %d candidates", ErrSearchTooLarge, examined)
+			}
+			if examined&4095 == 0 && opts.Interrupt != nil {
+				select {
+				case <-opts.Interrupt:
+					return nil, ErrInterrupted
+				default:
+				}
 			}
 			if multiset.DominatesAny(nd.y, minimal) {
 				// nd.y ≥ an existing minimal solution. If equal it is that

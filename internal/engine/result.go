@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"repro/internal/pump"
+	"repro/internal/realise"
+)
+
+// ProtocolInfo summarises the resolved protocol of a request.
+type ProtocolInfo struct {
+	Name        string `json:"name"`
+	States      int    `json:"states"`
+	Transitions int    `json:"transitions"`
+	Inputs      int    `json:"inputs"`
+	Leaderless  bool   `json:"leaderless"`
+	// Hash is the content hash of the protocol's canonical JSON form; it
+	// keys the engine's artifact cache.
+	Hash string `json:"hash"`
+	// Predicate renders the predicate the protocol is known to compute
+	// (registry protocols only).
+	Predicate string `json:"predicate,omitempty"`
+}
+
+// TracePoint is one formatted simulation snapshot.
+type TracePoint struct {
+	Interactions int64  `json:"interactions"`
+	Config       string `json:"config"`
+}
+
+// EstimateResult aggregates convergence statistics over repeated runs.
+type EstimateResult struct {
+	Runs           int     `json:"runs"`
+	Converged      int     `json:"converged"`
+	Output         int     `json:"output"`
+	MeanParallel   float64 `json:"meanParallel"`
+	MedianParallel float64 `json:"medianParallel"`
+	P95Parallel    float64 `json:"p95Parallel"`
+	MaxParallel    float64 `json:"maxParallel"`
+}
+
+// SimulationResult reports a simulate request.
+type SimulationResult struct {
+	Converged      bool         `json:"converged"`
+	Output         int          `json:"output"`
+	Interactions   int64        `json:"interactions"`
+	ParallelTime   float64      `json:"parallelTime"`
+	ConsensusAt    int64        `json:"consensusAt"`
+	Final          []int64      `json:"final,omitempty"`
+	FinalFormatted string       `json:"finalFormatted,omitempty"`
+	Trace          []TracePoint `json:"trace,omitempty"`
+	// Estimate is set instead of the single-run fields when Runs > 1.
+	Estimate *EstimateResult `json:"estimate,omitempty"`
+}
+
+// VerifyFailure is one failing input of a verify request.
+type VerifyFailure struct {
+	Input []int64 `json:"input"`
+	Want  bool    `json:"want"`
+	Got   int     `json:"got"`
+}
+
+// VerifyResult reports a verify request.
+type VerifyResult struct {
+	Predicate    string          `json:"predicate"`
+	Inputs       int             `json:"inputs"`
+	AllOK        bool            `json:"allOK"`
+	Failures     []VerifyFailure `json:"failures,omitempty"`
+	TotalConfigs int             `json:"totalConfigs"`
+	Summary      string          `json:"summary"`
+}
+
+// StableResult reports a stable request: the sizes of the computed ideal
+// bases and the measured norm (the empirical counterpart of Lemma 3.2's β).
+type StableResult struct {
+	Basis0      int   `json:"basis0"`
+	Basis1      int   `json:"basis1"`
+	SCBasis     int   `json:"scBasis"`
+	Iterations0 int   `json:"iterations0"`
+	Iterations1 int   `json:"iterations1"`
+	Norm        int64 `json:"norm"`
+}
+
+// CertificateResult reports a certify-chain or certify-leaderless request.
+// The certificate was independently re-checked before being returned.
+type CertificateResult struct {
+	Pipeline string `json:"pipeline"`
+	// A and B state the conclusion: if the protocol computes x ≥ η, then
+	// η ≤ A, pumped in steps of B.
+	A          int64                       `json:"a"`
+	B          int64                       `json:"b"`
+	Chain      *pump.ChainCertificate      `json:"chain,omitempty"`
+	Leaderless *pump.LeaderlessCertificate `json:"leaderless,omitempty"`
+}
+
+// SaturationResult reports a saturate request (the Lemma 5.4 witness).
+type SaturationResult struct {
+	Stages      int     `json:"stages"`
+	Input       int64   `json:"input"`
+	SequenceLen int     `json:"sequenceLen"`
+	Config      []int64 `json:"config"`
+}
+
+// BasisResult reports a basis request.
+type BasisResult struct {
+	Size  int                          `json:"size"`
+	Basis []realise.TransitionMultiset `json:"basis"`
+}
+
+// BoundsResult reports a bounds request. Values are rendered strings
+// because the constants overflow any machine integer (β(4) already has
+// more than 10^8 decimal digits; the library computes them exactly).
+type BoundsResult struct {
+	States              int64  `json:"states"`
+	Transitions         int64  `json:"transitions"`
+	Beta                string `json:"beta"`
+	Theta               string `json:"theta"`
+	Xi                  string `json:"xi"`
+	XiDeterministic     string `json:"xiDeterministic"`
+	Theorem59           string `json:"theorem59"`
+	Theorem59Simplified string `json:"theorem59Simplified"`
+	BBLowerLeaderless   string `json:"bbLowerLeaderless"`
+	BBLLowerWithLeaders string `json:"bblLowerWithLeaders"`
+}
+
+// Result is the typed answer to a Request. Exactly one payload field
+// (matching the request kind) is non-nil.
+type Result struct {
+	Kind     Kind          `json:"kind"`
+	Protocol *ProtocolInfo `json:"protocol,omitempty"`
+	// ElapsedMillis is the engine-side wall-clock time.
+	ElapsedMillis float64 `json:"elapsedMillis"`
+	// CacheHit reports whether the request was served from memoized
+	// per-protocol artifacts.
+	CacheHit bool `json:"cacheHit,omitempty"`
+
+	Simulation   *SimulationResult  `json:"simulation,omitempty"`
+	Verification *VerifyResult      `json:"verification,omitempty"`
+	Stable       *StableResult      `json:"stable,omitempty"`
+	Certificate  *CertificateResult `json:"certificate,omitempty"`
+	Saturation   *SaturationResult  `json:"saturation,omitempty"`
+	Basis        *BasisResult       `json:"basis,omitempty"`
+	Bounds       *BoundsResult      `json:"bounds,omitempty"`
+}

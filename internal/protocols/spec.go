@@ -2,12 +2,21 @@ package protocols
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// FromName builds a zoo protocol from a compact spec string, used by the
-// command line tools:
+// A builtin ties a spec head token (the part before the first colon) to a
+// constructor and a usage string. The builtin table is the ground layer of
+// every Registry; user constructors registered at runtime sit on top.
+type builtin struct {
+	ctor    Constructor
+	help    string
+	maxArgs int
+}
+
+// builtins maps head tokens of compact spec strings to constructors:
 //
 //	flock:η         flock-of-birds for x ≥ η
 //	succinct:k      P'_k for x ≥ 2^k
@@ -17,21 +26,9 @@ import (
 //	parity          x odd
 //	mod:m:r[,r...]  x mod m ∈ {r, ...}
 //	true | false    constant predicates
-func FromName(spec string) (Entry, error) {
-	parts := strings.Split(spec, ":")
-	arg := func(i int) (int64, error) {
-		if i >= len(parts) {
-			return 0, fmt.Errorf("protocols: spec %q needs an argument", spec)
-		}
-		v, err := strconv.ParseInt(parts[i], 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("protocols: spec %q: %w", spec, err)
-		}
-		return v, nil
-	}
-	switch parts[0] {
-	case "flock":
-		eta, err := arg(1)
+var builtins = map[string]builtin{
+	"flock": {help: "flock:η", maxArgs: 1, ctor: func(args []string) (Entry, error) {
+		eta, err := intArg("flock", args, 0)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -39,8 +36,9 @@ func FromName(spec string) (Entry, error) {
 			return Entry{}, fmt.Errorf("protocols: flock needs η ≥ 1")
 		}
 		return FlockOfBirds(eta), nil
-	case "succinct":
-		k, err := arg(1)
+	}},
+	"succinct": {help: "succinct:k", maxArgs: 1, ctor: func(args []string) (Entry, error) {
+		k, err := intArg("succinct", args, 0)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -48,8 +46,9 @@ func FromName(spec string) (Entry, error) {
 			return Entry{}, fmt.Errorf("protocols: succinct needs 0 ≤ k ≤ 40")
 		}
 		return Succinct(uint(k)), nil
-	case "binary":
-		eta, err := arg(1)
+	}},
+	"binary": {help: "binary:η", maxArgs: 1, ctor: func(args []string) (Entry, error) {
+		eta, err := intArg("binary", args, 0)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -57,8 +56,9 @@ func FromName(spec string) (Entry, error) {
 			return Entry{}, fmt.Errorf("protocols: binary needs η ≥ 1")
 		}
 		return BinaryThreshold(eta), nil
-	case "leaderflock":
-		eta, err := arg(1)
+	}},
+	"leaderflock": {help: "leaderflock:η", maxArgs: 1, ctor: func(args []string) (Entry, error) {
+		eta, err := intArg("leaderflock", args, 0)
 		if err != nil {
 			return Entry{}, err
 		}
@@ -66,27 +66,32 @@ func FromName(spec string) (Entry, error) {
 			return Entry{}, fmt.Errorf("protocols: leaderflock needs η ≥ 1")
 		}
 		return LeaderFlock(eta), nil
-	case "majority":
+	}},
+	"majority": {help: "majority", ctor: func([]string) (Entry, error) {
 		return Majority(), nil
-	case "parity":
+	}},
+	"parity": {help: "parity", ctor: func([]string) (Entry, error) {
 		return Parity(), nil
-	case "true":
+	}},
+	"true": {help: "true", ctor: func([]string) (Entry, error) {
 		return Constant(true), nil
-	case "false":
+	}},
+	"false": {help: "false", ctor: func([]string) (Entry, error) {
 		return Constant(false), nil
-	case "mod":
-		m, err := arg(1)
+	}},
+	"mod": {help: "mod:m:r[,r...]", maxArgs: 2, ctor: func(args []string) (Entry, error) {
+		m, err := intArg("mod", args, 0)
 		if err != nil {
 			return Entry{}, err
 		}
 		if m < 1 {
 			return Entry{}, fmt.Errorf("protocols: mod needs m ≥ 1")
 		}
-		if len(parts) < 3 {
+		if len(args) < 2 {
 			return Entry{}, fmt.Errorf("protocols: mod needs residues, e.g. mod:3:1")
 		}
 		var rs []int64
-		for _, s := range strings.Split(parts[2], ",") {
+		for _, s := range strings.Split(args[1], ",") {
 			r, err := strconv.ParseInt(s, 10, 64)
 			if err != nil {
 				return Entry{}, fmt.Errorf("protocols: bad residue %q: %w", s, err)
@@ -94,7 +99,54 @@ func FromName(spec string) (Entry, error) {
 			rs = append(rs, r)
 		}
 		return ModuloIn(m, rs...), nil
-	default:
-		return Entry{}, fmt.Errorf("protocols: unknown spec %q (try flock:5, succinct:3, binary:7, majority, parity, mod:3:1, leaderflock:4)", spec)
+	}},
+}
+
+// intArg parses the i-th colon-separated argument of a spec as an integer.
+func intArg(head string, args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("protocols: spec %q needs an argument", head)
 	}
+	v, err := strconv.ParseInt(args[i], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("protocols: spec %q: %w", head+":"+strings.Join(args, ":"), err)
+	}
+	return v, nil
+}
+
+// atMostArgs rejects trailing junk after the expected spec arguments.
+func atMostArgs(head string, args []string, n int) error {
+	if len(args) > n {
+		return fmt.Errorf("protocols: spec %q takes at most %d argument(s), got %d",
+			head+":"+strings.Join(args, ":"), n, len(args))
+	}
+	return nil
+}
+
+// SpecHelp lists the usage strings of all builtin specs, sorted.
+func SpecHelp() []string {
+	out := make([]string, 0, len(builtins))
+	for _, b := range builtins {
+		out = append(out, b.help)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FromName builds a zoo protocol from a compact spec string (see the
+// builtins table for the grammar). It resolves builtin specs only; use a
+// Registry to also resolve user-registered constructors.
+func FromName(spec string) (Entry, error) {
+	if spec == "" {
+		return Entry{}, fmt.Errorf("protocols: empty spec (try %s)", strings.Join(SpecHelp(), ", "))
+	}
+	parts := strings.Split(spec, ":")
+	b, ok := builtins[parts[0]]
+	if !ok {
+		return Entry{}, fmt.Errorf("protocols: unknown spec %q (known specs: %s)", spec, strings.Join(SpecHelp(), ", "))
+	}
+	if err := atMostArgs(parts[0], parts[1:], b.maxArgs); err != nil {
+		return Entry{}, err
+	}
+	return b.ctor(parts[1:])
 }

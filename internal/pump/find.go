@@ -36,6 +36,13 @@ type FindOptions struct {
 	Dioph dioph.Options
 	// Stable bounds the backward-coverability fixpoint.
 	Stable stable.Options
+	// Analysis, when non-nil, is a precomputed stable-set analysis of the
+	// protocol; the finders use it instead of recomputing (Stable is then
+	// ignored). Callers own the consistency of analysis and protocol.
+	Analysis *stable.Analysis
+	// Basis, when non-nil, is a precomputed realisable basis; FindLeaderless
+	// uses it instead of recomputing (Dioph is then ignored).
+	Basis []realise.TransitionMultiset
 }
 
 // FindChain searches for a ChainCertificate following the Theorem 4.5 proof:
@@ -50,9 +57,13 @@ func FindChain(p *protocol.Protocol, opts FindOptions) (*ChainCertificate, error
 	if maxChain == 0 {
 		maxChain = 128
 	}
-	analysis, err := stable.Analyze(p, opts.Stable)
-	if err != nil {
-		return nil, fmt.Errorf("pump: stable analysis: %w", err)
+	analysis := opts.Analysis
+	if analysis == nil {
+		var err error
+		analysis, err = stable.Analyze(p, opts.Stable)
+		if err != nil {
+			return nil, fmt.Errorf("pump: stable analysis: %w", err)
+		}
 	}
 
 	type stage struct {
@@ -136,9 +147,13 @@ func FindLeaderless(p *protocol.Protocol, opts FindOptions) (*LeaderlessCertific
 	if maxRetries == 0 {
 		maxRetries = 8
 	}
-	analysis, err := stable.Analyze(p, opts.Stable)
-	if err != nil {
-		return nil, fmt.Errorf("pump: stable analysis: %w", err)
+	analysis := opts.Analysis
+	if analysis == nil {
+		var err error
+		analysis, err = stable.Analyze(p, opts.Stable)
+		if err != nil {
+			return nil, fmt.Errorf("pump: stable analysis: %w", err)
+		}
 	}
 	sat, err := saturate.Saturate(p)
 	if err != nil {
@@ -147,9 +162,13 @@ func FindLeaderless(p *protocol.Protocol, opts FindOptions) (*LeaderlessCertific
 	if sat.Sequence == nil && sat.Stages > 0 {
 		return nil, fmt.Errorf("pump: saturation sequence too long to certify")
 	}
-	basis, err := realise.Basis(p, opts.Dioph)
-	if err != nil {
-		return nil, fmt.Errorf("pump: realisable basis: %w", err)
+	basis := opts.Basis
+	if basis == nil {
+		var err error
+		basis, err = realise.Basis(p, opts.Dioph)
+		if err != nil {
+			return nil, fmt.Errorf("pump: realisable basis: %w", err)
+		}
 	}
 
 	m := int64(1)

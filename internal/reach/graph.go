@@ -25,6 +25,23 @@ import (
 // configuration limit.
 var ErrLimitExceeded = errors.New("reach: configuration limit exceeded")
 
+// ErrInterrupted is returned when a stop channel closes mid-exploration
+// (cooperative cancellation; see ExploreInterruptible).
+var ErrInterrupted = errors.New("reach: interrupted")
+
+// interrupted polls a stop channel without blocking.
+func interrupted(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // Step is one edge of a path: firing Transition led to the configuration
 // with index To.
 type Step struct {
@@ -48,6 +65,13 @@ type Graph struct {
 // ErrLimitExceeded if more than limit configurations are reachable
 // (limit ≤ 0 means a default of 2,000,000).
 func Explore(p *protocol.Protocol, start protocol.Config, limit int) (*Graph, error) {
+	return ExploreInterruptible(p, start, limit, nil)
+}
+
+// ExploreInterruptible is Explore with cooperative cancellation: it aborts
+// with ErrInterrupted soon after the stop channel closes. A nil channel
+// disables the checks.
+func ExploreInterruptible(p *protocol.Protocol, start protocol.Config, limit int, stop <-chan struct{}) (*Graph, error) {
 	if limit <= 0 {
 		limit = 2_000_000
 	}
@@ -74,6 +98,9 @@ func Explore(p *protocol.Protocol, start protocol.Config, limit int) (*Graph, er
 	}
 	add(start, -1, -1)
 	for head := 0; head < len(g.configs); head++ {
+		if head&1023 == 0 && interrupted(stop) {
+			return nil, ErrInterrupted
+		}
 		c := g.configs[head]
 		next := c.Clone()
 		for t := 0; t < p.NumTransitions(); t++ {

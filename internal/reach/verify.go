@@ -65,8 +65,12 @@ func (r *Report) String() string {
 // it explores the configuration graph from IC(v) and compares the fair
 // output with ϕ(v). This is sound and complete for this input.
 func VerifyInput(p *protocol.Protocol, phi pred.Pred, v multiset.Vec, limit int) (Result, error) {
+	return verifyInput(p, phi, v, limit, nil)
+}
+
+func verifyInput(p *protocol.Protocol, phi pred.Pred, v multiset.Vec, limit int, stop <-chan struct{}) (Result, error) {
 	ic := p.InitialConfig(v)
-	g, err := Explore(p, ic, limit)
+	g, err := ExploreInterruptible(p, ic, limit, stop)
 	if err != nil {
 		return Result{}, fmt.Errorf("verifying input %v: %w", v, err)
 	}
@@ -90,6 +94,14 @@ func VerifyInput(p *protocol.Protocol, phi pred.Pred, v multiset.Vec, limit int)
 // only defines behaviour for |v| ≥ 2, so minSize is clamped to 2. Exhaustive
 // and exact for the verified range.
 func VerifyRange(p *protocol.Protocol, phi pred.Pred, minSize, maxSize int64, limit int) (*Report, error) {
+	return VerifyRangeInterruptible(p, phi, minSize, maxSize, limit, nil)
+}
+
+// VerifyRangeInterruptible is VerifyRange with cooperative cancellation: it
+// aborts with ErrInterrupted soon after the stop channel closes, both
+// between inputs and inside each input's graph exploration. A nil channel
+// disables the checks.
+func VerifyRangeInterruptible(p *protocol.Protocol, phi pred.Pred, minSize, maxSize int64, limit int, stop <-chan struct{}) (*Report, error) {
 	if phi.Arity() != p.NumInputs() {
 		return nil, fmt.Errorf("reach: predicate arity %d != protocol inputs %d",
 			phi.Arity(), p.NumInputs())
@@ -101,7 +113,10 @@ func VerifyRange(p *protocol.Protocol, phi pred.Pred, minSize, maxSize int64, li
 	for s := minSize; s <= maxSize; s++ {
 		inputs := enumerate(p.NumInputs(), s)
 		for _, v := range inputs {
-			res, err := VerifyInput(p, phi, v, limit)
+			if interrupted(stop) {
+				return rep, ErrInterrupted
+			}
+			res, err := verifyInput(p, phi, v, limit, stop)
 			if err != nil {
 				return rep, err
 			}

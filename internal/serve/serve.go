@@ -1,0 +1,169 @@
+// Package serve is the HTTP front-end of the analysis engine: a handler
+// exposing the typed Request/Result model as a JSON API. The ppserve
+// command wraps it in a daemon; tests and examples mount it in-process.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   run one engine.Request, respond with engine.Result
+//	GET  /v1/catalog   list resolvable specs and the built-in protocol zoo
+//	GET  /healthz      liveness probe
+//
+// Requests run concurrently (one goroutine per connection, standard
+// net/http) against a shared engine, whose artifact cache makes repeated
+// analyses of the same protocol near-free. Every request gets a deadline:
+// its own TimeoutMillis if set (clamped to MaxTimeout), else
+// DefaultTimeout.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/protocols"
+)
+
+// Options configures the handler.
+type Options struct {
+	// DefaultTimeout is the per-request deadline when the request does not
+	// set TimeoutMillis. 0 means 30 seconds.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines. 0 means 2 minutes.
+	MaxTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.DefaultTimeout > o.MaxTimeout {
+		o.DefaultTimeout = o.MaxTimeout
+	}
+	return o
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// catalogEntry describes one zoo protocol in the catalog response.
+type catalogEntry struct {
+	Key         string `json:"key"`
+	Name        string `json:"name"`
+	States      int    `json:"states"`
+	Transitions int    `json:"transitions"`
+	Inputs      int    `json:"inputs"`
+	Leaderless  bool   `json:"leaderless"`
+	Predicate   string `json:"predicate"`
+}
+
+// catalogBody is the /v1/catalog response.
+type catalogBody struct {
+	// Specs lists the resolvable spec head tokens (builtin plus
+	// user-registered constructor names); each is a valid spec prefix.
+	Specs []string `json:"specs"`
+	// SpecUsage documents the argument grammar of the builtin specs
+	// ("flock:η", "mod:m:r[,r...]", ...). Entries are usage templates,
+	// not resolvable specs.
+	SpecUsage []string `json:"specUsage"`
+	// Kinds lists the analysis kinds /v1/analyze accepts.
+	Kinds []engine.Kind `json:"kinds"`
+	// Catalog is the built-in protocol collection.
+	Catalog []catalogEntry `json:"catalog"`
+}
+
+// NewHandler mounts the API on a fresh mux backed by eng.
+func NewHandler(eng *engine.Engine, opts Options) http.Handler {
+	opts = opts.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		handleAnalyze(eng, opts, w, r)
+	})
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		handleCatalog(eng, w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func handleAnalyze(eng *engine.Engine, opts Options, w http.ResponseWriter, r *http.Request) {
+	var req engine.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+
+	timeout := opts.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > opts.MaxTimeout {
+		timeout = opts.MaxTimeout
+	}
+	// The engine applies TimeoutMillis itself, but clamping here enforces
+	// the server-side ceiling whatever the request asked for.
+	req.TimeoutMillis = 0
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := eng.Do(ctx, req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, engine.ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+	case errors.Is(err, context.Canceled):
+		// The client went away; nothing useful to write.
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+func handleCatalog(eng *engine.Engine, w http.ResponseWriter) {
+	body := catalogBody{
+		Specs:     eng.Registry().Names(),
+		SpecUsage: protocols.SpecHelp(),
+		Kinds:     engine.Kinds,
+	}
+	cat := protocols.Catalog()
+	keys := make([]string, 0, len(cat))
+	for k := range cat {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := cat[k]
+		body.Catalog = append(body.Catalog, catalogEntry{
+			Key:         k,
+			Name:        e.Protocol.Name(),
+			States:      e.Protocol.NumStates(),
+			Transitions: e.Protocol.NumTransitions(),
+			Inputs:      e.Protocol.NumInputs(),
+			Leaderless:  e.Protocol.Leaderless(),
+			Predicate:   e.Pred.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

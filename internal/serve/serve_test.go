@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func post(t *testing.T, h http.Handler, path, body string) (*httptest.ResponseRecorder, *engine.Result) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewBufferString(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var res engine.Result
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatalf("decoding result: %v\n%s", err, rec.Body)
+		}
+	}
+	return rec, &res
+}
+
+func TestAnalyzeSimulate(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	rec, res := post(t, h, "/v1/analyze",
+		`{"kind":"simulate","protocol":{"spec":"flock:4"},"input":[8],"seed":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if res.Simulation == nil || !res.Simulation.Converged || res.Simulation.Output != 1 {
+		t.Fatalf("bad simulation result: %s", rec.Body)
+	}
+}
+
+func TestAnalyzeVerify(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	rec, res := post(t, h, "/v1/analyze",
+		`{"kind":"verify","protocol":{"spec":"majority"},"maxSize":6}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if res.Verification == nil || !res.Verification.AllOK {
+		t.Fatalf("bad verification result: %s", rec.Body)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	cases := map[string]struct {
+		body string
+		code int
+	}{
+		"malformed json": {`{"kind":`, http.StatusBadRequest},
+		"unknown kind":   {`{"kind":"zzz"}`, http.StatusBadRequest},
+		"bad spec":       {`{"kind":"stable","protocol":{"spec":"zzz"}}`, http.StatusBadRequest},
+		"arity mismatch": {`{"kind":"simulate","protocol":{"spec":"majority"},"input":[4]}`, http.StatusBadRequest},
+	}
+	for name, tc := range cases {
+		rec, _ := post(t, h, "/v1/analyze", tc.body)
+		if rec.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", name, rec.Code, tc.code, rec.Body)
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body missing: %s", name, rec.Body)
+		}
+	}
+}
+
+func TestAnalyzeTimeout(t *testing.T) {
+	// A tiny server-side ceiling interrupts a long verification.
+	h := NewHandler(engine.New(), Options{DefaultTimeout: 20 * time.Millisecond, MaxTimeout: 20 * time.Millisecond})
+	rec, _ := post(t, h, "/v1/analyze",
+		`{"kind":"verify","protocol":{"spec":"binary:12"},"maxSize":64,"timeoutMillis":600000}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", rec.Code, rec.Body)
+	}
+}
+
+func TestCatalogAndHealth(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/catalog", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("catalog status %d", rec.Code)
+	}
+	var body struct {
+		Specs   []string      `json:"specs"`
+		Kinds   []engine.Kind `json:"kinds"`
+		Catalog []struct {
+			Key       string `json:"key"`
+			Predicate string `json:"predicate"`
+		} `json:"catalog"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Specs) == 0 || len(body.Kinds) != len(engine.Kinds) || len(body.Catalog) == 0 {
+		t.Errorf("thin catalog: %s", rec.Body)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz status %d", rec.Code)
+	}
+
+	// Method guards.
+	req = httptest.NewRequest(http.MethodGet, "/v1/analyze", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze status %d, want 405", rec.Code)
+	}
+}
+
+// TestConcurrentRequests drives the handler from many goroutines; identical
+// stable requests must compute the analysis once (shared engine cache).
+func TestConcurrentRequests(t *testing.T) {
+	eng := engine.New()
+	h := NewHandler(eng, Options{})
+	const workers = 8
+	var wg sync.WaitGroup
+	codes := make([]int, workers)
+	for i := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/v1/analyze",
+				bytes.NewBufferString(`{"kind":"stable","protocol":{"spec":"binary:7"}}`))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+		}()
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("worker %d: status %d", i, c)
+		}
+	}
+	if n := eng.Computations(); n != 1 {
+		t.Errorf("stable analysis computed %d times, want 1", n)
+	}
+}
+
+// TestCatalogSpecsAreResolvable: every head token in the catalog's specs
+// list must resolve (with a sample argument) via /v1/analyze — the field
+// is machine-readable, not documentation.
+func TestCatalogSpecsAreResolvable(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/catalog", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body struct {
+		Specs []string `json:"specs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]string{
+		"flock": ":3", "succinct": ":2", "binary": ":3", "leaderflock": ":2", "mod": ":3:1",
+	}
+	for _, head := range body.Specs {
+		spec := head + args[head]
+		rec, _ := post(t, h, "/v1/analyze", `{"kind":"bounds","protocol":{"spec":"`+spec+`"}}`)
+		if rec.Code != http.StatusOK {
+			t.Errorf("catalog spec %q does not resolve: %d %s", spec, rec.Code, rec.Body)
+		}
+	}
+}

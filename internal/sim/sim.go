@@ -81,6 +81,10 @@ type Options struct {
 	// RecordFirings collects the indices of the non-identity transitions
 	// actually fired, in order — an explicit path usable in certificates.
 	RecordFirings bool
+	// Interrupt, when non-nil, cancels the run cooperatively: Run aborts
+	// with ErrInterrupted soon after the channel closes (checked at the
+	// oracle cadence, every CheckEvery interactions).
+	Interrupt <-chan struct{}
 }
 
 // TracePoint is a snapshot taken during simulation.
@@ -118,6 +122,8 @@ type Stats struct {
 // Errors returned by Run.
 var (
 	ErrPopulationTooSmall = errors.New("sim: population must have at least 2 agents")
+	// ErrInterrupted is returned when Options.Interrupt closes mid-run.
+	ErrInterrupted = errors.New("sim: interrupted")
 )
 
 // Run simulates the protocol from configuration c0 until the oracle
@@ -207,6 +213,13 @@ func Run(p *protocol.Protocol, c0 protocol.Config, opts Options) (Stats, error) 
 			record()
 		}
 		if st.Interactions%checkEvery == 0 {
+			if opts.Interrupt != nil {
+				select {
+				case <-opts.Interrupt:
+					return st, ErrInterrupted
+				default:
+				}
+			}
 			if b, ok := oracle.Classify(c); ok {
 				st.Converged, st.Output = true, b
 				st.ConsensusAt = consensusStart

@@ -33,6 +33,9 @@ import (
 // configured basis size limit.
 var ErrBasisTooLarge = errors.New("stable: backward coverability basis exceeds limit")
 
+// ErrInterrupted is returned when Options.Interrupt closes mid-analysis.
+var ErrInterrupted = errors.New("stable: interrupted")
+
 // Analysis holds the computed stable sets of one protocol.
 type Analysis struct {
 	p *protocol.Protocol
@@ -50,6 +53,9 @@ type Options struct {
 	// MaxBasis bounds the number of minimal elements maintained per output;
 	// 0 means 200000.
 	MaxBasis int
+	// Interrupt, when non-nil, cancels the analysis cooperatively: Analyze
+	// aborts with ErrInterrupted soon after the channel closes.
+	Interrupt <-chan struct{}
 }
 
 // Analyze computes SC_0 and SC_1 for the protocol.
@@ -60,7 +66,7 @@ func Analyze(p *protocol.Protocol, opts Options) (*Analysis, error) {
 	}
 	a := &Analysis{p: p}
 	for b := 0; b <= 1; b++ {
-		u, iters, err := backwardCover(p, b, maxBasis)
+		u, iters, err := backwardCover(p, b, maxBasis, opts.Interrupt)
 		if err != nil {
 			return nil, fmt.Errorf("computing U_%d: %w", b, err)
 		}
@@ -72,7 +78,7 @@ func Analyze(p *protocol.Protocol, opts Options) (*Analysis, error) {
 }
 
 // backwardCover computes U_b by the pred-basis fixpoint.
-func backwardCover(p *protocol.Protocol, b int, maxBasis int) (*ideal.UpSet, int, error) {
+func backwardCover(p *protocol.Protocol, b int, maxBasis int, stop <-chan struct{}) (*ideal.UpSet, int, error) {
 	d := p.NumStates()
 	u := ideal.NewUpSet(d)
 	for q := 0; q < d; q++ {
@@ -90,7 +96,14 @@ func backwardCover(p *protocol.Protocol, b int, maxBasis int) (*ideal.UpSet, int
 		iters++
 		grew := false
 		basis := u.MinBasis()
-		for _, m := range basis {
+		for k, m := range basis {
+			if k&1023 == 0 && stop != nil {
+				select {
+				case <-stop:
+					return nil, iters, ErrInterrupted
+				default:
+				}
+			}
 			for t := 0; t < p.NumTransitions(); t++ {
 				delta := p.Displacement(t)
 				if delta.IsZero() {

@@ -3,6 +3,7 @@ package pp
 import (
 	"repro/internal/bounds"
 	"repro/internal/dioph"
+	"repro/internal/engine"
 	"repro/internal/pred"
 	"repro/internal/protocol"
 	"repro/internal/protocols"
@@ -13,6 +14,61 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stable"
 )
+
+// The analysis engine: one typed Request/Result API over every analysis in
+// the library. Engines resolve protocols through a registry (compact specs
+// like "flock:8", inline JSON, user constructors added with Register) and
+// memoize expensive per-protocol artifacts behind a content-hash cache.
+type (
+	// Engine executes analysis requests; see NewEngine.
+	Engine = engine.Engine
+	// Request is one JSON-round-trippable analysis job.
+	Request = engine.Request
+	// Result is the typed answer to a Request.
+	Result = engine.Result
+	// AnalysisKind names an analysis (simulate, verify, stable, ...).
+	AnalysisKind = engine.Kind
+	// ProtocolRef names a protocol: registry spec or inline JSON.
+	ProtocolRef = engine.ProtocolRef
+	// PredicateSpec describes the predicate of a verify request.
+	PredicateSpec = engine.PredicateSpec
+	// ProtocolRegistry resolves spec strings to protocols.
+	ProtocolRegistry = protocols.Registry
+	// ProtocolConstructor builds a protocol entry from spec arguments.
+	ProtocolConstructor = protocols.Constructor
+)
+
+// The analysis kinds.
+const (
+	KindSimulate          = engine.KindSimulate
+	KindVerify            = engine.KindVerify
+	KindStable            = engine.KindStable
+	KindCertifyChain      = engine.KindCertifyChain
+	KindCertifyLeaderless = engine.KindCertifyLeaderless
+	KindSaturate          = engine.KindSaturate
+	KindBasis             = engine.KindBasis
+	KindBounds            = engine.KindBounds
+)
+
+// NewEngine returns an engine backed by the default protocol registry.
+func NewEngine() *Engine { return engine.New() }
+
+// NewEngineWithRegistry returns an engine with its own registry.
+func NewEngineWithRegistry(reg *ProtocolRegistry) *Engine {
+	return engine.NewWithRegistry(reg)
+}
+
+// NewRegistry returns an empty registry resolving the builtin zoo.
+func NewRegistry() *ProtocolRegistry { return protocols.NewRegistry() }
+
+// Register adds a user protocol constructor to the default registry,
+// making it resolvable by name in requests ("myproto:3").
+func Register(name string, ctor ProtocolConstructor) error {
+	return protocols.Register(name, ctor)
+}
+
+// ErrBadRequest wraps every request-validation failure.
+var ErrBadRequest = engine.ErrBadRequest
 
 // Core model types, re-exported from the internal packages.
 type (

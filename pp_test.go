@@ -194,3 +194,50 @@ func ExampleVerify() {
 	fmt.Println("all inputs correct:", rep.AllOK())
 	// Output: all inputs correct: true
 }
+
+// TestEngineFacade drives the analysis engine through the public facade:
+// registry resolution, a user-registered constructor, request execution,
+// and the content-hash cache.
+func TestEngineFacade(t *testing.T) {
+	reg := pp.NewRegistry()
+	if err := reg.Register("twice", func(args []string) (pp.Entry, error) {
+		if len(args) != 1 {
+			return pp.Entry{}, fmt.Errorf("twice needs one argument")
+		}
+		var eta int64
+		if _, err := fmt.Sscanf(args[0], "%d", &eta); err != nil {
+			return pp.Entry{}, err
+		}
+		return pp.FlockOfBirds(2 * eta), nil
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	eng := pp.NewEngineWithRegistry(reg)
+
+	res, err := eng.Do(t.Context(), pp.Request{
+		Kind:     pp.KindSimulate,
+		Protocol: pp.ProtocolRef{Spec: "twice:3"}, // flock-of-birds, η = 6
+		Input:    []int64{10},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !res.Simulation.Converged || res.Simulation.Output != 1 {
+		t.Fatalf("twice:3 on 10 agents should accept: %+v", res.Simulation)
+	}
+	if res.Protocol.States != 7 {
+		t.Errorf("twice:3 should have 7 states, got %d", res.Protocol.States)
+	}
+
+	// Second stable request hits the cache through the facade too.
+	for i, wantHit := range []bool{false, true} {
+		res, err := eng.Do(t.Context(), pp.Request{Kind: pp.KindStable, Protocol: pp.ProtocolRef{Spec: "twice:3"}})
+		if err != nil {
+			t.Fatalf("stable %d: %v", i, err)
+		}
+		if res.CacheHit != wantHit {
+			t.Errorf("stable request %d: cacheHit=%t, want %t", i, res.CacheHit, wantHit)
+		}
+	}
+}
