@@ -15,9 +15,9 @@ import (
 )
 
 // ---------------------------------------------------------------------------
-// One benchmark per experiment table (E1–E10, see DESIGN.md §4). Each runs
-// the table generator in quick mode; `go run ./cmd/ppexperiments` prints the
-// full tables recorded in EXPERIMENTS.md.
+// One benchmark per experiment table (E1–E11). Each runs the table
+// generator in quick mode; `go run ./cmd/ppexperiments` prints the full
+// tables.
 // ---------------------------------------------------------------------------
 
 func benchExperiment(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {

@@ -1,10 +1,11 @@
-// Command ppexperiments regenerates every table recorded in EXPERIMENTS.md
-// (the experiment index E1–E10 of DESIGN.md).
+// Command ppexperiments regenerates the paper's experiment tables
+// (E1–E11; each is the executable counterpart of one construction or
+// theorem-shaped claim — see the experiments package).
 //
 // Usage:
 //
 //	ppexperiments                    # all tables, text
-//	ppexperiments -markdown          # all tables, markdown (EXPERIMENTS.md body)
+//	ppexperiments -markdown          # all tables, markdown
 //	ppexperiments -only E6           # one table
 //	ppexperiments -quick             # reduced ranges (CI-friendly)
 //	ppexperiments -full-search       # E8 enumerates the full 3-state space
@@ -47,7 +48,7 @@ func run(args []string) error {
 	if *only != "" {
 		run, ok := runners[*only]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (E1..E10)", *only)
+			return fmt.Errorf("unknown experiment %q (E1..E11)", *only)
 		}
 		start := time.Now()
 		tb, err := run(cfg)

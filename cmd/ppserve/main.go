@@ -1,22 +1,27 @@
 // Command ppserve is the analysis-engine HTTP daemon: every analysis the
 // pp library offers (simulation, exact verification, stable sets, pumping
-// certificates, saturation, realisable bases, bounds) behind one JSON API.
+// certificates, saturation, realisable bases, bounds, cover lengths) and
+// batch scenario sweeps behind one JSON API.
 //
 // Usage:
 //
 //	ppserve                          # listen on :8080
-//	ppserve -addr 127.0.0.1:9000 -timeout 10s -max-timeout 1m
+//	ppserve -addr 127.0.0.1:9000 -timeout 10s -max-timeout 1m -sweep-timeout 30m
 //
 // Endpoints:
 //
 //	POST /v1/analyze   {"kind":"simulate","protocol":{"spec":"flock:8"},"input":[20]}
+//	POST /v1/sweep     sweep spec in, NDJSON stream out (one row per cell)
 //	GET  /v1/catalog   resolvable specs + built-in protocol zoo
 //	GET  /healthz      liveness probe
 //
 // Requests are handled concurrently against a shared engine whose
 // content-hash cache memoizes per-protocol artifacts, so repeated analyses
-// of the same protocol are near-free. Each request runs under a deadline
-// (its own timeoutMillis, clamped to -max-timeout; else -timeout).
+// of the same protocol are near-free. Each analyze request runs under a
+// deadline (its own timeoutMillis, clamped to -max-timeout; else
+// -timeout); sweeps run under -sweep-timeout, stream one NDJSON row per
+// completed cell, and stop when the client disconnects. See docs/api.md
+// for the full HTTP reference.
 package main
 
 import (
@@ -41,9 +46,11 @@ func main() { cli.Main("ppserve", run) }
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppserve", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "ceiling for request-supplied deadlines")
+		addr         = fs.String("addr", ":8080", "listen address")
+		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout   = fs.Duration("max-timeout", 2*time.Minute, "ceiling for request-supplied deadlines")
+		sweepTimeout = fs.Duration("sweep-timeout", 10*time.Minute, "deadline for a whole /v1/sweep request")
+		sweepWorkers = fs.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +61,12 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serveOn(ctx, ln, serve.Options{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout})
+	return serveOn(ctx, ln, serve.Options{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		SweepTimeout:   *sweepTimeout,
+		SweepWorkers:   *sweepWorkers,
+	})
 }
 
 // serveOn runs the daemon on an existing listener until ctx is cancelled,

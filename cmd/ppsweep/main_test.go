@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpec drops a spec file into a temp dir.
+func writeSpec(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout runs f with stdout redirected to a pipe and returns what it
+// wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 0, 1<<16)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v\noutput so far:\n%s", runErr, data)
+	}
+	return string(data)
+}
+
+// TestHundredCellSweepCSV is the acceptance check: a ≥100-cell sweep runs
+// via the CLI and emits one CSV row per cell.
+func TestHundredCellSweepCSV(t *testing.T) {
+	spec := writeSpec(t, `{
+	  "name": "bounds-scaling",
+	  "kinds": ["bounds"],
+	  "params": [{"from": 3, "to": 102}],
+	  "maxCells": 200
+	}`)
+	out := captureStdout(t, func() error {
+		return run([]string{"-spec", spec, "-format", "csv", "-quiet"})
+	})
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, out)
+	}
+	if len(rows) != 101 {
+		t.Fatalf("got %d CSV rows, want header + 100 cells", len(rows))
+	}
+	if rows[0][0] != "index" || rows[0][4] != "kind" {
+		t.Errorf("bad header: %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if row[4] != "bounds" || row[5] != "true" {
+			t.Errorf("bad cell row: %v", row)
+		}
+	}
+}
+
+func TestSweepNDJSON(t *testing.T) {
+	spec := writeSpec(t, `{
+	  "protocols": [{"spec": "flock:{N}"}],
+	  "params": [{"from": 3, "to": 4}],
+	  "kinds": ["simulate", "stable"],
+	  "sizes": ["{N}+1"],
+	  "options": {"seed": 5}
+	}`)
+	out := captureStdout(t, func() error {
+		return run([]string{"-spec", spec, "-quiet"})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d NDJSON lines, want 4:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		var cell struct {
+			Kind string `json:"kind"`
+			OK   bool   `json:"ok"`
+		}
+		if err := json.Unmarshal([]byte(line), &cell); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if !cell.OK {
+			t.Errorf("cell failed: %s", line)
+		}
+	}
+}
+
+func TestBadSpecFails(t *testing.T) {
+	spec := writeSpec(t, `{"kinds": ["zzz"]}`)
+	if err := run([]string{"-spec", spec}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing spec file must fail")
+	}
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -spec must fail")
+	}
+}

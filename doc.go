@@ -26,8 +26,9 @@
 // verification), stable (stable sets SC_0/SC_1 with ideal bases),
 // certify-chain and certify-leaderless (the paper's executable pumping
 // certificates, Theorems 4.5 and 5.9), saturate (Lemma 5.4), basis
-// (potentially realisable transition multisets, Definition 4), and bounds
-// (the paper's constants β, ϑ, ξ in exact arithmetic).
+// (potentially realisable transition multisets, Definition 4), bounds
+// (the paper's constants β, ϑ, ξ in exact arithmetic), and cover (shortest
+// covering-execution lengths, the quantity Lemma 3.2 bounds by β).
 //
 // Protocols are resolved through a registry: compact spec strings
 // ("flock:8", "binary:11", "mod:3:1"), inline JSON protocols (the Spec
@@ -38,6 +39,31 @@
 // cancellation and per-request deadlines. The cmd/ppserve daemon exposes
 // the same model over HTTP (POST /v1/analyze), and all command line tools
 // are thin adapters over it.
+//
+// # Scenario sweeps
+//
+// The paper's workloads are parametric — thresholds x ≥ c, predicates and
+// population sizes swept over constants — so beside the one-request Do
+// there is a batch entry point: a declarative SweepSpec expands a cartesian
+// grid (protocol templates × parameters × population sizes × kinds, with
+// explicit cross-product caps) into engine requests and executes them on a
+// worker pool sharing the engine's artifact cache and cancellation.
+//
+//	spec, _ := pp.ParseSweepSpec([]byte(`{
+//	    "protocols": [{"spec": "flock:{N}"}],
+//	    "params":    [{"from": 2, "to": 9}],
+//	    "kinds":     ["verify", "simulate"],
+//	    "sizes":     ["{N}-1", "{N}", "{N}+1"],
+//	    "options":   {"runs": 5}
+//	}`))
+//	res, err := pp.Sweep(ctx, eng, spec, pp.SweepRunOptions{
+//	    OnCell: func(c pp.SweepCellResult) { fmt.Println(c.Index, c.Kind, c.OK) },
+//	})
+//
+// Completed cells stream to OnCell as they finish; the returned SweepResult
+// aggregates verdicts, convergence percentiles and wall time. The same spec
+// runs unchanged via cmd/ppsweep (CSV/NDJSON output) and ppserve's
+// streaming POST /v1/sweep endpoint; see examples/sweep and docs/api.md.
 //
 // # The library underneath
 //
@@ -65,6 +91,7 @@
 // request model is too coarse.
 //
 // See examples/quickstart for the engine walkthrough, examples/serve for
-// the HTTP API, and EXPERIMENTS.md for the reproduced results (regenerate
-// them with `go run ./cmd/ppexperiments`).
+// the HTTP API, examples/sweep for a parametric scenario sweep, README.md
+// for the architecture map, and docs/api.md for the HTTP reference.
+// Regenerate the experiment tables with `go run ./cmd/ppexperiments`.
 package pp

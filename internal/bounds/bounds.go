@@ -184,7 +184,7 @@ func BBLowerLeaderless(states int64) Huge {
 
 // BBLLowerWithLeaders returns the Theorem 2.2 lower bound Ω(2^(2ⁿ)) for
 // protocols with leaders (construction in Blondin et al. [12], cited but
-// not reproduced; see DESIGN.md substitution 3).
+// not reproduced).
 func BBLLowerWithLeaders(states int64) Huge {
 	if states < 1 {
 		return HugeFromInt(one)

@@ -44,7 +44,7 @@ func TestAblationKnownSystem(t *testing.T) {
 }
 
 // BenchmarkCDvsNoCriterion quantifies the value of the Contejean–Devie
-// expansion criterion (the DESIGN.md ablation).
+// expansion criterion (an ablation of the solver).
 func BenchmarkCDvsNoCriterion(b *testing.B) {
 	a := [][]int64{{2, -3, 1}, {1, 1, -2}}
 	b.Run("contejean-devie", func(b *testing.B) {

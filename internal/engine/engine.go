@@ -297,6 +297,8 @@ func (e *Engine) dispatch(ctx context.Context, req Request, entry protocols.Entr
 		return e.doBasis(ctx, entry, hash, res)
 	case KindBounds:
 		return e.doBounds(ctx, req, entry, res)
+	case KindCover:
+		return e.doCover(ctx, req, entry, res)
 	default:
 		return fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
 	}
@@ -646,6 +648,30 @@ func (e *Engine) doBasis(ctx context.Context, entry protocols.Entry, hash string
 	}
 	res.CacheHit = hit
 	res.Basis = &BasisResult{Size: len(basis), Basis: basis}
+	return nil
+}
+
+func (e *Engine) doCover(ctx context.Context, req Request, entry protocols.Entry, res *Result) error {
+	p := entry.Protocol
+	in := multiset.Vec(req.Input)
+	if err := ValidateInput(in, p.NumInputs()); err != nil {
+		return err
+	}
+	ic := p.InitialConfig(in)
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	m1, err := reach.MaxCoverLengthInterruptible(p, ic, 1, req.Limit, ctx.Done())
+	if err != nil {
+		return err
+	}
+	m0, err := reach.MaxCoverLengthInterruptible(p, ic, 0, req.Limit, ctx.Done())
+	if err != nil {
+		return err
+	}
+	res.Cover = &CoverResult{Input: req.Input, MaxLen1: m1, MaxLen0: m0}
 	return nil
 }
 

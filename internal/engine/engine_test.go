@@ -60,6 +60,7 @@ func TestRequestJSONRoundTrip(t *testing.T) {
 		KindSaturate:          {Kind: KindSaturate, Protocol: ProtocolRef{Spec: "parity"}},
 		KindBasis:             {Kind: KindBasis, Protocol: ProtocolRef{Spec: "succinct:3"}},
 		KindBounds:            {Kind: KindBounds, States: 4, Transitions: 10},
+		KindCover:             {Kind: KindCover, Protocol: ProtocolRef{Spec: "flock:4"}, Input: []int64{6}, Limit: 500},
 	}
 	if len(requests) != len(Kinds) {
 		t.Fatalf("round-trip table covers %d kinds, want %d", len(requests), len(Kinds))
@@ -435,5 +436,23 @@ func TestBoundsStatesCap(t *testing.T) {
 	}
 	if _, err := eng.Do(context.Background(), Request{Kind: KindBounds, States: 50}); err != nil {
 		t.Errorf("bounds with 50 states should work: %v", err)
+	}
+}
+
+// TestCover: the cover request reproduces experiment E11's measurements —
+// shortest covering executions from IC(input), per output.
+func TestCover(t *testing.T) {
+	eng := New()
+	res := do(t, eng, Request{Kind: KindCover, Protocol: ProtocolRef{Spec: "flock:4"}, Input: []int64{6}})
+	if res.Cover == nil {
+		t.Fatal("no cover payload")
+	}
+	// From IC(6), flock(4) can cover the output-1 state (6 ≥ 4) and any
+	// output-0 state; both need at least one interaction.
+	if res.Cover.MaxLen1 < 1 || res.Cover.MaxLen0 < 1 {
+		t.Errorf("implausible cover lengths: %+v", res.Cover)
+	}
+	if _, err := eng.Do(context.Background(), Request{Kind: KindCover, Protocol: ProtocolRef{Spec: "flock:4"}, Input: []int64{6, 1}}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("arity mismatch: want ErrBadRequest, got %v", err)
 	}
 }

@@ -33,12 +33,16 @@ const (
 	KindBasis Kind = "basis"
 	// KindBounds evaluates the paper's constants and busy beaver bounds.
 	KindBounds Kind = "bounds"
+	// KindCover measures the shortest covering-execution lengths from the
+	// initial configuration of an input — the quantity Rackoff's theorem
+	// bounds by β(n) inside Lemma 3.2's proof.
+	KindCover Kind = "cover"
 )
 
 // Kinds lists every analysis kind.
 var Kinds = []Kind{
 	KindSimulate, KindVerify, KindStable, KindCertifyChain,
-	KindCertifyLeaderless, KindSaturate, KindBasis, KindBounds,
+	KindCertifyLeaderless, KindSaturate, KindBasis, KindBounds, KindCover,
 }
 
 // Valid reports whether k names a known analysis.
@@ -105,8 +109,8 @@ type Request struct {
 	Kind     Kind        `json:"kind"`
 	Protocol ProtocolRef `json:"protocol,omitzero"`
 
-	// Input is the input multiset for simulate requests (one count per
-	// input variable).
+	// Input is the input multiset for simulate and cover requests (one
+	// count per input variable).
 	Input []int64 `json:"input,omitempty"`
 	// Seed seeds randomized analyses (simulate, certificate finders).
 	Seed uint64 `json:"seed,omitempty"`
@@ -128,7 +132,8 @@ type Request struct {
 	// the protocol's exhaustive-verification bound).
 	MinSize int64 `json:"minSize,omitempty"`
 	MaxSize int64 `json:"maxSize,omitempty"`
-	// Limit bounds each configuration graph (0 = default).
+	// Limit bounds each configuration graph explored by verify and cover
+	// requests (0 = default).
 	Limit int `json:"limit,omitempty"`
 
 	// States and Transitions feed bounds requests without a protocol.

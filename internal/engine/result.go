@@ -121,6 +121,18 @@ type BoundsResult struct {
 	BBLLowerWithLeaders string `json:"bblLowerWithLeaders"`
 }
 
+// CoverResult reports a cover request: over all states q with the given
+// output coverable from the initial configuration of Input, the largest
+// shortest-covering-execution length (exact BFS). Lemma 3.2 bounds these
+// lengths by β(n); the measured values quantify the slack.
+type CoverResult struct {
+	Input []int64 `json:"input"`
+	// MaxLen1 and MaxLen0 are the largest shortest-cover lengths to a state
+	// with output 1 and 0 respectively (0 if no such state is coverable).
+	MaxLen1 int `json:"maxLen1"`
+	MaxLen0 int `json:"maxLen0"`
+}
+
 // Result is the typed answer to a Request. Exactly one payload field
 // (matching the request kind) is non-nil.
 type Result struct {
@@ -139,4 +151,5 @@ type Result struct {
 	Saturation   *SaturationResult  `json:"saturation,omitempty"`
 	Basis        *BasisResult       `json:"basis,omitempty"`
 	Bounds       *BoundsResult      `json:"bounds,omitempty"`
+	Cover        *CoverResult       `json:"cover,omitempty"`
 }

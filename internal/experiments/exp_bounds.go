@@ -5,12 +5,12 @@ import (
 	"math/big"
 
 	"repro/internal/bounds"
+	"repro/internal/engine"
 	"repro/internal/fgh"
 	"repro/internal/protocols"
 	"repro/internal/pump"
 	"repro/internal/search"
-	"repro/internal/sim"
-	"repro/internal/stable"
+	"repro/internal/sweep"
 )
 
 // E6PumpingCertificates runs the full proof pipelines on concrete protocols:
@@ -192,6 +192,8 @@ func E9ControlledSequences(cfg Config) (*Table, error) {
 // E10ParallelTime measures stochastic convergence (parallel time =
 // interactions / n) of zoo protocols across population sizes — the
 // simulation series standing in for the runtime discussion of Section 1.
+// The protocol × population grid runs as one scenario sweep with the exact
+// stable-set oracle (each analysis computed once via the engine cache).
 func E10ParallelTime(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "E10",
@@ -200,37 +202,34 @@ func E10ParallelTime(cfg Config) (*Table, error) {
 		Header: []string{"protocol", "population", "runs", "converged", "mean parallel", "p95 parallel"},
 	}
 	runs := 15
-	sizes := []int64{16, 64, 256, 1024}
+	sizes := []sweep.Expr{sweep.Lit(16), sweep.Lit(64), sweep.Lit(256), sweep.Lit(1024)}
 	if cfg.Quick {
 		runs = 4
-		sizes = []int64{16, 64}
+		sizes = sizes[:2]
 	}
-	cases := []struct {
-		name string
-		e    protocols.Entry
-	}{
-		{"flock(8)", protocols.FlockOfBirds(8)},
-		{"succinct(3)", protocols.Succinct(3)},
-		{"binary(11)", protocols.BinaryThreshold(11)},
-		{"parity", protocols.Parity()},
+	specs := []string{"flock:8", "succinct:3", "binary:11", "parity"}
+	spec := sweep.Spec{
+		Name:    "E10",
+		Kinds:   []engine.Kind{engine.KindSimulate},
+		Sizes:   sizes,
+		Options: sweep.Options{Seed: cfg.Seed, Runs: runs, ExactOracle: true},
 	}
-	for _, tc := range cases {
-		p := tc.e.Protocol
-		var oracle sim.Oracle = sim.Silence{P: p}
-		// The exact oracle is affordable for these protocols and detects
-		// convergence earlier than silence.
-		if a, err := stable.Analyze(p, stable.Options{MaxBasis: 50_000}); err == nil {
-			oracle = sim.FirstOf{a, sim.Silence{P: p}}
-		}
-		for _, n := range sizes {
-			est, err := sim.EstimateParallelTime(p, p.InitialConfigN(n), runs, sim.Options{
-				Seed:   cfg.Seed + uint64(n),
-				Oracle: oracle,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s n=%d: %w", tc.name, n, err)
+	for _, s := range specs {
+		spec.Protocols = append(spec.Protocols, sweep.ProtocolAxis{Spec: s})
+	}
+	cells, err := sweepCells(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range specs {
+		for _, sz := range sizes {
+			n := sz.Eval(0)
+			cr, ok := cells[cellKey{s, engine.KindSimulate, n}]
+			if !ok || cr.Result.Simulation == nil || cr.Result.Simulation.Estimate == nil {
+				return nil, fmt.Errorf("%s n=%d: missing sweep cell", s, n)
 			}
-			t.AddRow(tc.name, n, est.Runs, est.Converged,
+			est := cr.Result.Simulation.Estimate
+			t.AddRow(s, n, est.Runs, est.Converged,
 				fmt.Sprintf("%.1f", est.MeanParallel), fmt.Sprintf("%.1f", est.P95Parallel))
 		}
 	}

@@ -5,17 +5,18 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/dioph"
+	"repro/internal/engine"
 	"repro/internal/protocols"
-	"repro/internal/reach"
 	"repro/internal/realise"
 	"repro/internal/saturate"
-	"repro/internal/sim"
 	"repro/internal/stable"
+	"repro/internal/sweep"
 )
 
 // E1Example21 reproduces Example 2.1: P_k computes x ≥ 2^k with 2^k+1
 // states, P'_k with k+2 states. Small k are verified exactly for every
-// input; larger k by stochastic simulation around the threshold.
+// input; larger k by stochastic simulation around the threshold. The whole
+// parametric grid runs as one scenario sweep on the shared executor.
 func E1Example21(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "E1",
@@ -28,75 +29,53 @@ func E1Example21(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		maxExactK, maxSimK = 2, 4
 	}
+	spec := sweep.Spec{Name: "E1", Options: sweep.Options{Seed: cfg.Seed}}
+	labels := func(k uint) (string, string) {
+		return fmt.Sprintf("P_%d", k), fmt.Sprintf("P'_%d", k)
+	}
 	for k := uint(1); k <= maxSimK; k++ {
 		eta := int64(1) << k
-		pk := protocols.PaperPk(k)
-		pkPrime := protocols.Succinct(k)
-		var pkVerdict, primeVerdict, method string
-		if k <= maxExactK {
-			method = fmt.Sprintf("exact ≤ %d", eta+2)
-			for _, pair := range []struct {
-				e *protocols.Entry
-				v *string
-			}{{&pk, &pkVerdict}, {&pkPrime, &primeVerdict}} {
-				eta2, found, err := reach.ThresholdWitness(pair.e.Protocol, eta+2, 0)
-				if err != nil {
-					return nil, err
-				}
-				if found && eta2 == eta {
-					*pair.v = "✓"
-				} else {
-					*pair.v = fmt.Sprintf("✗ (%d,%t)", eta2, found)
-				}
+		pkLabel, primeLabel := labels(k)
+		for _, e := range []sweep.ProtocolAxis{
+			{Spec: fmt.Sprintf("flock:%d", eta), Label: pkLabel},
+			{Spec: fmt.Sprintf("succinct:%d", k), Label: primeLabel},
+		} {
+			if k <= maxExactK {
+				e.Kinds = []engine.Kind{engine.KindVerify}
+				e.Sizes = []sweep.Expr{sweep.Lit(eta + 2)}
+			} else {
+				e.Kinds = []engine.Kind{engine.KindSimulate}
+				e.Sizes = []sweep.Expr{sweep.Lit(eta - 1), sweep.Lit(eta)}
 			}
-		} else {
-			method = "simulation at η−1 and η"
-			for _, pair := range []struct {
-				e *protocols.Entry
-				v *string
-			}{{&pk, &pkVerdict}, {&pkPrime, &primeVerdict}} {
-				ok, err := simThresholdCheck(pair.e, eta, cfg.Seed)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					*pair.v = "✓"
-				} else {
-					*pair.v = "✗"
-				}
-			}
+			spec.Protocols = append(spec.Protocols, e)
 		}
-		t.AddRow(k, eta, pk.Protocol.NumStates(), pkPrime.Protocol.NumStates(), pkVerdict, primeVerdict, method)
+	}
+	cells, err := sweepCells(spec)
+	if err != nil {
+		return nil, err
+	}
+	for k := uint(1); k <= maxSimK; k++ {
+		eta := int64(1) << k
+		pkLabel, primeLabel := labels(k)
+		exact := k <= maxExactK
+		method := "simulation at η−1 and η"
+		if exact {
+			method = fmt.Sprintf("exact ≤ %d", eta+2)
+		}
+		t.AddRow(k, eta,
+			cellStates(cells, pkLabel), cellStates(cells, primeLabel),
+			thresholdVerdict(cells, pkLabel, eta, exact),
+			thresholdVerdict(cells, primeLabel, eta, exact),
+			method)
 	}
 	t.Note("\"exact\" = bottom-SCC analysis over every input up to the stated bound; simulation uses the uniform random scheduler with silence detection.")
+	t.Note("rows are assembled from one scenario sweep (internal/sweep), the executor behind ppsweep and POST /v1/sweep.")
 	return t, nil
-}
-
-// simThresholdCheck simulates at η−1 (expect stable 0) and η (expect
-// stable 1).
-func simThresholdCheck(e *protocols.Entry, eta int64, seed uint64) (bool, error) {
-	p := e.Protocol
-	for _, tc := range []struct {
-		x    int64
-		want int
-	}{{eta - 1, 0}, {eta, 1}} {
-		if tc.x < 2 {
-			continue
-		}
-		st, err := sim.Run(p, p.InitialConfigN(tc.x), sim.Options{Seed: seed})
-		if err != nil {
-			return false, err
-		}
-		if !st.Converged || st.Output != tc.want {
-			return false, nil
-		}
-	}
-	return true, nil
 }
 
 // E2BinaryThreshold reproduces the Ω-direction of Theorem 2.2 for
 // leaderless protocols: arbitrary thresholds η with O(log η) states,
-// hence BB(n) ∈ Ω(2^n).
+// hence BB(n) ∈ Ω(2^n). The threshold axis runs as one scenario sweep.
 func E2BinaryThreshold(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "E2",
@@ -110,29 +89,33 @@ func E2BinaryThreshold(cfg Config) (*Table, error) {
 		exact = []int64{3, 5, 7}
 		simulated = []int64{21, 100}
 	}
+	spec := sweep.Spec{Name: "E2", Options: sweep.Options{Seed: cfg.Seed}}
+	label := func(eta int64) string { return fmt.Sprintf("binary:%d", eta) }
 	for _, eta := range exact {
-		e := protocols.BinaryThreshold(eta)
-		eta2, found, err := reach.ThresholdWitness(e.Protocol, eta+2, 0)
-		if err != nil {
-			return nil, err
-		}
-		verdict := "✓"
-		if !found || eta2 != eta {
-			verdict = fmt.Sprintf("✗ (%d,%t)", eta2, found)
-		}
-		t.AddRow(eta, e.Protocol.NumStates(), 2*log2ceil(eta)+3, verdict, fmt.Sprintf("exact ≤ %d", eta+2))
+		spec.Protocols = append(spec.Protocols, sweep.ProtocolAxis{
+			Spec:  label(eta),
+			Kinds: []engine.Kind{engine.KindVerify},
+			Sizes: []sweep.Expr{sweep.Lit(eta + 2)},
+		})
 	}
 	for _, eta := range simulated {
-		e := protocols.BinaryThreshold(eta)
-		ok, err := simThresholdCheck(&e, eta, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		verdict := "✓"
-		if !ok {
-			verdict = "✗"
-		}
-		t.AddRow(eta, e.Protocol.NumStates(), 2*log2ceil(eta)+3, verdict, "simulation at η−1 and η")
+		spec.Protocols = append(spec.Protocols, sweep.ProtocolAxis{
+			Spec:  label(eta),
+			Kinds: []engine.Kind{engine.KindSimulate},
+			Sizes: []sweep.Expr{sweep.Lit(eta - 1), sweep.Lit(eta)},
+		})
+	}
+	cells, err := sweepCells(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, eta := range exact {
+		t.AddRow(eta, cellStates(cells, label(eta)), 2*log2ceil(eta)+3,
+			thresholdVerdict(cells, label(eta), eta, true), fmt.Sprintf("exact ≤ %d", eta+2))
+	}
+	for _, eta := range simulated {
+		t.AddRow(eta, cellStates(cells, label(eta)), 2*log2ceil(eta)+3,
+			thresholdVerdict(cells, label(eta), eta, false), "simulation at η−1 and η")
 	}
 	t.Note("with n states the family reaches η ≈ 2^((n−3)/2), witnessing BB(n) ∈ Ω(2^n) up to the constant in the exponent; P'_k sharpens this to 2^(n−2) for powers of two.")
 	return t, nil

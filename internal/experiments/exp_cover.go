@@ -4,15 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
-	"repro/internal/protocols"
-	"repro/internal/reach"
+	"repro/internal/engine"
+	"repro/internal/sweep"
 )
 
 // E11CoverLengths measures the true shortest covering-execution lengths on
 // concrete protocols, the quantity that Rackoff's theorem bounds by
 // β(n) = 2^(2(2n+1)!+1) inside Lemma 3.2's proof. The measured lengths are
 // single digits; the bound has millions of digits — the slack that the
-// small basis constant carries into every downstream bound.
+// small basis constant carries into every downstream bound. The protocol ×
+// input grid runs as one scenario sweep of cover cells.
 func E11CoverLengths(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "E11",
@@ -22,32 +23,39 @@ func E11CoverLengths(cfg Config) (*Table, error) {
 	}
 	cases := []struct {
 		name  string
-		e     protocols.Entry
+		spec  string
 		input int64
 	}{
-		{"flock(4)", protocols.FlockOfBirds(4), 6},
-		{"flock(6)", protocols.FlockOfBirds(6), 8},
-		{"succinct(3)", protocols.Succinct(3), 9},
-		{"binary(7)", protocols.BinaryThreshold(7), 9},
-		{"parity", protocols.Parity(), 7},
-		{"mod3∈{1}", protocols.ModuloIn(3, 1), 7},
+		{"flock(4)", "flock:4", 6},
+		{"flock(6)", "flock:6", 8},
+		{"succinct(3)", "succinct:3", 9},
+		{"binary(7)", "binary:7", 9},
+		{"parity", "parity", 7},
+		{"mod3∈{1}", "mod:3:1", 7},
 	}
 	if cfg.Quick {
 		cases = cases[:3]
 	}
+	spec := sweep.Spec{Name: "E11", Kinds: []engine.Kind{engine.KindCover}}
 	for _, tc := range cases {
-		p := tc.e.Protocol
-		ic := p.InitialConfigN(tc.input)
-		m1, err := reach.MaxCoverLength(p, ic, 1, 0)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		spec.Protocols = append(spec.Protocols, sweep.ProtocolAxis{
+			Spec:   tc.spec,
+			Label:  tc.name,
+			Inputs: [][]int64{{tc.input}},
+		})
+	}
+	cells, err := sweepCells(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, tc := range cases {
+		cr, ok := cells[cellKey{tc.name, engine.KindCover, tc.input}]
+		if !ok || cr.Result.Cover == nil {
+			return nil, fmt.Errorf("%s: missing cover cell", tc.name)
 		}
-		m0, err := reach.MaxCoverLength(p, ic, 0, 0)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", tc.name, err)
-		}
-		n := int64(p.NumStates())
-		t.AddRow(tc.name, n, tc.input, m1, m0, bounds.Beta(n).String())
+		n := int64(cr.Result.Protocol.States)
+		t.AddRow(tc.name, n, tc.input, cr.Result.Cover.MaxLen1, cr.Result.Cover.MaxLen0,
+			bounds.Beta(n).String())
 	}
 	t.Note("\"max cover len → output b\" is the largest, over states q with O(q)=b coverable from IC(input), of the shortest execution covering q (exact BFS).")
 	return t, nil

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sweep"
+)
+
+// cellKey addresses one sweep cell by its coordinates; experiment tables
+// are assembled by looking completed cells back up per row.
+type cellKey struct {
+	label string
+	kind  engine.Kind
+	size  int64
+}
+
+// sweepCells runs a sweep spec on a fresh engine through the shared sweep
+// executor (the same worker pool and artifact cache the ppsweep command
+// and POST /v1/sweep use) and indexes the completed cells by coordinate.
+// Any failed cell fails the experiment.
+func sweepCells(spec sweep.Spec) (map[cellKey]sweep.CellResult, error) {
+	res, err := sweep.Run(context.Background(), engine.New(), spec, sweep.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[cellKey]sweep.CellResult, len(res.Cells))
+	for _, cr := range res.Cells {
+		if !cr.OK {
+			return nil, fmt.Errorf("sweep cell %s/%s/%d: %s", cr.Protocol, cr.Kind, cr.Size, cr.Error)
+		}
+		m[cellKey{cr.Protocol, cr.Kind, cr.Size}] = cr
+	}
+	return m, nil
+}
+
+// thresholdVerdict renders the ✓/✗ verdict of a threshold protocol from
+// its sweep cells: an exact verify cell when present, else the pair of
+// simulate cells at η−1 (expect stable 0) and η (expect stable 1).
+func thresholdVerdict(cells map[cellKey]sweep.CellResult, label string, eta int64, exact bool) string {
+	if exact {
+		cr, ok := cells[cellKey{label, engine.KindVerify, eta + 2}]
+		if !ok || cr.Result.Verification == nil {
+			return "✗ (missing cell)"
+		}
+		if cr.Result.Verification.AllOK {
+			return "✓"
+		}
+		return "✗ (" + cr.Result.Verification.Summary + ")"
+	}
+	for _, tc := range []struct {
+		size int64
+		want int
+	}{{eta - 1, 0}, {eta, 1}} {
+		if tc.size < 2 {
+			continue
+		}
+		cr, ok := cells[cellKey{label, engine.KindSimulate, tc.size}]
+		if !ok || cr.Result.Simulation == nil {
+			return "✗ (missing cell)"
+		}
+		if s := cr.Result.Simulation; !s.Converged || s.Output != tc.want {
+			return "✗"
+		}
+	}
+	return "✓"
+}
+
+// cellStates reads the protocol state count off any of the label's cells.
+func cellStates(cells map[cellKey]sweep.CellResult, label string) int {
+	for k, cr := range cells {
+		if k.label == label && cr.Result != nil && cr.Result.Protocol != nil {
+			return cr.Result.Protocol.States
+		}
+	}
+	return 0
+}

@@ -1,9 +1,12 @@
-// Package experiments regenerates the tables recorded in EXPERIMENTS.md.
-// The paper (a theory paper) has no tables or figures of its own; each
-// experiment here is the executable counterpart of one of its constructions
-// or theorem-shaped claims, as laid out in DESIGN.md's experiment index
-// (E1–E10). Every experiment returns a Table that the ppexperiments command
-// renders as text or markdown and that bench_test.go times.
+// Package experiments generates the repository's experiment tables. The
+// paper (a theory paper) has no tables or figures of its own; each
+// experiment here (E1–E11) is the executable counterpart of one of its
+// constructions or theorem-shaped claims. Every experiment returns a Table
+// that the ppexperiments command renders as text or markdown and that
+// bench_test.go times. The parametric experiments (E1, E2, E10, E11) are
+// expressed as scenario sweeps and run on the internal/sweep executor —
+// the same worker pool and artifact cache behind ppsweep and POST
+// /v1/sweep.
 package experiments
 
 import (

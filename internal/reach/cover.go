@@ -17,13 +17,20 @@ import (
 // The search is breadth-first over the exact configuration graph (fixed
 // population size), so the returned length is minimal.
 func CoverLength(p *protocol.Protocol, start protocol.Config, target multiset.Vec, limit int) (int, bool, error) {
+	return CoverLengthInterruptible(p, start, target, limit, nil)
+}
+
+// CoverLengthInterruptible is CoverLength with cooperative cancellation: it
+// aborts with ErrInterrupted soon after the stop channel closes. A nil
+// channel disables the checks.
+func CoverLengthInterruptible(p *protocol.Protocol, start protocol.Config, target multiset.Vec, limit int, stop <-chan struct{}) (int, bool, error) {
 	if target.Dim() != p.NumStates() {
 		return 0, false, fmt.Errorf("reach: target dimension %d, want %d", target.Dim(), p.NumStates())
 	}
 	if target.Le(start) {
 		return 0, true, nil
 	}
-	g, err := Explore(p, start, limit)
+	g, err := ExploreInterruptible(p, start, limit, stop)
 	if err != nil {
 		return 0, false, err
 	}
@@ -49,12 +56,19 @@ func CoverLength(p *protocol.Protocol, start protocol.Config, target multiset.Ve
 // state is coverable). It measures how long the witness executions in the
 // stability analysis actually are.
 func MaxCoverLength(p *protocol.Protocol, start protocol.Config, b int, limit int) (int, error) {
+	return MaxCoverLengthInterruptible(p, start, b, limit, nil)
+}
+
+// MaxCoverLengthInterruptible is MaxCoverLength with cooperative
+// cancellation: it aborts with ErrInterrupted soon after the stop channel
+// closes. A nil channel disables the checks.
+func MaxCoverLengthInterruptible(p *protocol.Protocol, start protocol.Config, b int, limit int, stop <-chan struct{}) (int, error) {
 	max := 0
 	for q := 0; q < p.NumStates(); q++ {
 		if p.Output(protocol.State(q)) != b {
 			continue
 		}
-		l, ok, err := CoverLength(p, start, multiset.Unit(p.NumStates(), q), limit)
+		l, ok, err := CoverLengthInterruptible(p, start, multiset.Unit(p.NumStates(), q), limit, stop)
 		if err != nil {
 			return 0, err
 		}

@@ -5,14 +5,18 @@
 // Endpoints:
 //
 //	POST /v1/analyze   run one engine.Request, respond with engine.Result
+//	POST /v1/sweep     run a sweep.Spec, streaming NDJSON (one row per cell)
 //	GET  /v1/catalog   list resolvable specs and the built-in protocol zoo
 //	GET  /healthz      liveness probe
 //
 // Requests run concurrently (one goroutine per connection, standard
 // net/http) against a shared engine, whose artifact cache makes repeated
-// analyses of the same protocol near-free. Every request gets a deadline:
-// its own TimeoutMillis if set (clamped to MaxTimeout), else
-// DefaultTimeout.
+// analyses of the same protocol near-free. Every analyze request gets a
+// deadline: its own TimeoutMillis if set (clamped to MaxTimeout), else
+// DefaultTimeout. Sweeps run under SweepTimeout and stream one JSON row
+// per completed cell followed by a summary row, so even a very large grid
+// is observable and interruptible mid-flight — closing the connection
+// cancels in-flight cells and skips the rest.
 package serve
 
 import (
@@ -20,12 +24,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/protocols"
+	"repro/internal/sweep"
 )
 
 // Options configures the handler.
@@ -35,6 +41,10 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps request-supplied deadlines. 0 means 2 minutes.
 	MaxTimeout time.Duration
+	// SweepTimeout bounds a whole /v1/sweep request. 0 means 10 minutes.
+	SweepTimeout time.Duration
+	// SweepWorkers is the worker-pool size of each sweep (0 = GOMAXPROCS).
+	SweepWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultTimeout > o.MaxTimeout {
 		o.DefaultTimeout = o.MaxTimeout
+	}
+	if o.SweepTimeout <= 0 {
+		o.SweepTimeout = 10 * time.Minute
 	}
 	return o
 }
@@ -87,6 +100,9 @@ func NewHandler(eng *engine.Engine, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		handleAnalyze(eng, opts, w, r)
+	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		handleSweep(eng, opts, w, r)
 	})
 	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
 		handleCatalog(eng, w)
@@ -131,6 +147,66 @@ func handleAnalyze(eng *engine.Engine, opts Options, w http.ResponseWriter, r *h
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
+}
+
+// SweepRow is one NDJSON row of a /v1/sweep response stream. Type is
+// "cell" for per-cell rows (Cell set), "summary" for the final aggregate
+// row (Summary set, its Cells field omitted — the stream already carried
+// them), and "error" for a mid-stream failure (Error set).
+type SweepRow struct {
+	Type    string            `json:"type"`
+	Cell    *sweep.CellResult `json:"cell,omitempty"`
+	Summary *sweep.Result     `json:"summary,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// handleSweep streams a sweep: the spec is validated and expanded up
+// front (client errors are plain 400 JSON), then rows flow as cells
+// complete. Cancellation is end to end: when the client disconnects, the
+// request context cancels the sweep, which interrupts in-flight cells and
+// skips the rest.
+func handleSweep(eng *engine.Engine, opts Options, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading request: %v", err)})
+		return
+	}
+	spec, err := sweep.ParseSpec(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), opts.SweepTimeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	writeRow := func(row SweepRow) {
+		// Write errors mean the client went away; the context will cancel
+		// the sweep, so there is nothing to handle here.
+		_ = enc.Encode(row)
+		_ = rc.Flush()
+	}
+
+	// DiscardCells keeps server memory flat on huge grids: each cell was
+	// already streamed, so the summary row carries aggregates only.
+	res, err := sweep.Run(ctx, eng, spec, sweep.RunOptions{
+		Workers:      opts.SweepWorkers,
+		DiscardCells: true,
+		OnCell:       func(cr sweep.CellResult) { writeRow(SweepRow{Type: "cell", Cell: &cr}) },
+	})
+	if res == nil {
+		// Only reachable if re-expansion fails, which ParseSpec precludes;
+		// report it as a stream row since the 200 header is already out.
+		writeRow(SweepRow{Type: "error", Error: err.Error()})
+		return
+	}
+	// On cancellation or timeout the partial summary still goes out
+	// (harmless if the client is gone).
+	writeRow(SweepRow{Type: "summary", Summary: res})
 }
 
 func handleCatalog(eng *engine.Engine, w http.ResponseWriter) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -177,5 +178,172 @@ func TestCatalogSpecsAreResolvable(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Errorf("catalog spec %q does not resolve: %d %s", spec, rec.Code, rec.Body)
 		}
+	}
+}
+
+// --- /v1/sweep -------------------------------------------------------------
+
+// sweepRows posts a sweep spec and decodes the NDJSON stream.
+func sweepRows(t *testing.T, h http.Handler, spec string) (*httptest.ResponseRecorder, []SweepRow) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewBufferString(spec))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var rows []SweepRow
+	dec := json.NewDecoder(rec.Body)
+	for dec.More() {
+		var row SweepRow
+		if err := dec.Decode(&row); err != nil {
+			t.Fatalf("decoding NDJSON row %d: %v", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	return rec, rows
+}
+
+// TestSweepStreams100Cells is the acceptance check: a ≥100-cell sweep runs
+// over POST /v1/sweep and streams one NDJSON row per cell plus a summary.
+func TestSweepStreams100Cells(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	spec := `{
+	  "name": "bounds-scaling",
+	  "kinds": ["bounds"],
+	  "params": [{"from": 3, "to": 102}],
+	  "maxCells": 200
+	}`
+	rec, rows := sweepRows(t, h, spec)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	if len(rows) != 101 {
+		t.Fatalf("got %d rows, want 100 cells + summary", len(rows))
+	}
+	cells := 0
+	for _, row := range rows[:100] {
+		if row.Type != "cell" || row.Cell == nil {
+			t.Fatalf("bad cell row: %+v", row)
+		}
+		if !row.Cell.OK || row.Cell.Result == nil || row.Cell.Result.Bounds == nil {
+			t.Fatalf("cell %d did not produce bounds: %+v", row.Cell.Index, row.Cell)
+		}
+		cells++
+	}
+	last := rows[100]
+	if last.Type != "summary" || last.Summary == nil {
+		t.Fatalf("last row is not the summary: %+v", last)
+	}
+	if s := last.Summary; s.TotalCells != 100 || s.Completed != 100 || s.Failed != 0 || len(s.Cells) != 0 {
+		t.Errorf("bad summary: %+v", last.Summary)
+	}
+}
+
+func TestSweepBadSpecs(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	cases := map[string]string{
+		"malformed json": `{"protocols":`,
+		"unknown kind":   `{"protocols":[{"spec":"flock:3"}],"kinds":["zzz"]}`,
+		"unknown field":  `{"protcols":[{"spec":"flock:3"}],"kinds":["stable"]}`,
+		"cap overflow":   `{"protocols":[{"spec":"flock:{N}"}],"params":[{"from":1,"to":999}],"kinds":["stable"],"maxCells":10}`,
+		"empty grid":     `{"protocols":[],"kinds":["stable"]}`,
+	}
+	for name, spec := range cases {
+		rec, _ := sweepRows(t, h, spec)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, rec.Code, rec.Body)
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body missing: %s", name, rec.Body)
+		}
+	}
+}
+
+// flushCountingWriter is a ResponseWriter that signals each written row, so
+// a test can react to streaming progress deterministically.
+type flushCountingWriter struct {
+	mu     sync.Mutex
+	header http.Header
+	rows   int
+	notify chan struct{}
+}
+
+func (w *flushCountingWriter) Header() http.Header { return w.header }
+func (w *flushCountingWriter) WriteHeader(int)     {}
+func (w *flushCountingWriter) Flush()              {}
+func (w *flushCountingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.rows += bytes.Count(p, []byte("\n"))
+	w.mu.Unlock()
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+	return len(p), nil
+}
+func (w *flushCountingWriter) writtenRows() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rows
+}
+
+// TestSweepClientDisconnectCancels: cancelling the request context after
+// the first streamed row (what a dropped connection does) must stop the
+// sweep: in-flight cells are interrupted and the rest never run.
+func TestSweepClientDisconnectCancels(t *testing.T) {
+	h := NewHandler(engine.New(), Options{})
+	// 60 cells of a protocol that never converges, each burning a fixed
+	// multi-million-interaction budget: un-cancelled, this sweep would run
+	// for minutes.
+	spec := `{
+	  "name": "disconnect",
+	  "protocols": [{"inline": {
+	    "name": "spinner",
+	    "states": [{"name": "a", "output": 0}, {"name": "b", "output": 1}],
+	    "transitions": [["a","a","b","b"], ["b","b","a","a"]],
+	    "inputs": {"x": "a"},
+	    "completeWithIdentity": true
+	  }}],
+	  "kinds": ["simulate"],
+	  "sizes": [100, 101, 102, 103, 104, 105, 106, 107, 108, 109,
+	            110, 111, 112, 113, 114, 115, 116, 117, 118, 119,
+	            120, 121, 122, 123, 124, 125, 126, 127, 128, 129,
+	            130, 131, 132, 133, 134, 135, 136, 137, 138, 139,
+	            140, 141, 142, 143, 144, 145, 146, 147, 148, 149,
+	            150, 151, 152, 153, 154, 155, 156, 157, 158, 159],
+	  "options": {"maxSteps": 5000000, "timeoutMillis": 600000}
+	}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewBufferString(spec)).WithContext(ctx)
+	w := &flushCountingWriter{header: make(http.Header), notify: make(chan struct{}, 1)}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(w, req)
+	}()
+	// Wait for the first streamed row, then "disconnect".
+	select {
+	case <-w.notify:
+	case <-time.After(60 * time.Second):
+		t.Fatal("no row streamed within 60s")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
+	}
+	// Far fewer than the 60 grid cells may have completed (the summary and
+	// error rows also count lines, hence the slack).
+	if rows := w.writtenRows(); rows >= 30 {
+		t.Errorf("%d rows written after early disconnect, want far fewer than 60", rows)
 	}
 }

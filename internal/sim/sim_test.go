@@ -17,7 +17,7 @@ func TestRunMajorityConverges(t *testing.T) {
 	// every input (see reach tests), but its tie-breaking rule a,b ↦ b,b
 	// fights the A side, making A-majorities with small margins take
 	// expected time exponential in the passive count under the random
-	// scheduler. We simulate decisive margins here; EXPERIMENTS.md discusses
+	// scheduler. We simulate decisive margins here; experiment E10 discusses
 	// the asymmetry.
 	tests := []struct {
 		a, b int64

@@ -1,0 +1,58 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// benchSpec is a CPU-bound simulate grid of 24 cells. The protocol never
+// converges (two states toggling forever), so every cell deterministically
+// burns its full interaction budget — per-cell cost is fixed and the
+// worker pool, not the channel plumbing, dominates.
+func benchSpec(t *testing.B) Spec {
+	t.Helper()
+	spinner := `{
+	  "name": "spinner",
+	  "states": [{"name": "a", "output": 0}, {"name": "b", "output": 1}],
+	  "transitions": [["a","a","b","b"], ["b","b","a","a"]],
+	  "inputs": {"x": "a"},
+	  "completeWithIdentity": true
+	}`
+	spec := Spec{
+		Name:      "bench",
+		Protocols: []ProtocolAxis{{Inline: []byte(spinner), Label: "spinner"}},
+		Kinds:     []engine.Kind{engine.KindSimulate},
+		Options:   Options{Seed: 1, MaxSteps: 250_000},
+	}
+	for n := int64(100); n < 148; n += 2 {
+		spec.Sizes = append(spec.Sizes, Lit(n))
+	}
+	return spec
+}
+
+func benchSweep(b *testing.B, workers int) {
+	spec := benchSpec(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New() // cold engine: no cross-iteration caching
+		res, err := Run(ctx, eng, spec, RunOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.TotalCells || res.Failed != 0 {
+			b.Fatalf("bad sweep: %+v", res)
+		}
+	}
+	b.ReportMetric(float64(24), "cells/op")
+}
+
+// BenchmarkSweepWorkers1 is the serial baseline of the sweep executor.
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepWorkersMax runs the same grid on a full-width pool; the
+// speed-up over BenchmarkSweepWorkers1 pins the executor's scaling.
+func BenchmarkSweepWorkersMax(b *testing.B) { benchSweep(b, runtime.GOMAXPROCS(0)) }

@@ -1,6 +1,8 @@
 package pp
 
 import (
+	"context"
+
 	"repro/internal/bounds"
 	"repro/internal/dioph"
 	"repro/internal/engine"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/saturate"
 	"repro/internal/sim"
 	"repro/internal/stable"
+	"repro/internal/sweep"
 )
 
 // The analysis engine: one typed Request/Result API over every analysis in
@@ -48,7 +51,38 @@ const (
 	KindSaturate          = engine.KindSaturate
 	KindBasis             = engine.KindBasis
 	KindBounds            = engine.KindBounds
+	KindCover             = engine.KindCover
 )
+
+// Scenario sweeps: a declarative grid of analysis cells (protocol templates
+// × predicate parameters × population sizes × kinds) executed on a worker
+// pool over one engine. The cmd/ppsweep tool and the ppserve POST /v1/sweep
+// endpoint run the same specs.
+type (
+	// SweepSpec declares a sweep grid; see the sweep package for the JSON
+	// format and examples/sweep for a runnable spec.
+	SweepSpec = sweep.Spec
+	// SweepCell is one expanded grid point with its engine request.
+	SweepCell = sweep.Cell
+	// SweepCellResult is the streamed outcome of one executed cell.
+	SweepCellResult = sweep.CellResult
+	// SweepResult aggregates a whole sweep run.
+	SweepResult = sweep.Result
+	// SweepRunOptions sets the worker-pool size and the per-cell observer.
+	SweepRunOptions = sweep.RunOptions
+)
+
+// ParseSweepSpec decodes and validates a JSON sweep spec.
+func ParseSweepSpec(data []byte) (SweepSpec, error) { return sweep.ParseSpec(data) }
+
+// Sweep expands a spec and executes every cell against eng on a worker
+// pool, streaming completed cells to opts.OnCell and returning the
+// aggregate. Cancelling ctx interrupts in-flight cells and skips the rest.
+// (This is the batch entry point beside Engine.Do; it is a function rather
+// than a method because Engine is an alias of the internal engine type.)
+func Sweep(ctx context.Context, eng *Engine, spec SweepSpec, opts SweepRunOptions) (*SweepResult, error) {
+	return sweep.Run(ctx, eng, spec, opts)
+}
 
 // NewEngine returns an engine backed by the default protocol registry.
 func NewEngine() *Engine { return engine.New() }
