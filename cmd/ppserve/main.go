@@ -7,6 +7,7 @@
 //
 //	ppserve                          # listen on :8080
 //	ppserve -addr 127.0.0.1:9000 -timeout 10s -max-timeout 1m -sweep-timeout 30m
+//	ppserve -pprof localhost:6060    # opt-in net/http/pprof for profiling
 //
 // Endpoints:
 //
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +53,7 @@ func run(args []string) error {
 		maxTimeout   = fs.Duration("max-timeout", 2*time.Minute, "ceiling for request-supplied deadlines")
 		sweepTimeout = fs.Duration("sweep-timeout", 10*time.Minute, "deadline for a whole /v1/sweep request")
 		sweepWorkers = fs.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +61,14 @@ func run(args []string) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		pln, err := startPprof(*pprofAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer pln.Close()
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -67,6 +78,25 @@ func run(args []string) error {
 		SweepTimeout:   *sweepTimeout,
 		SweepWorkers:   *sweepWorkers,
 	})
+}
+
+// startPprof serves net/http/pprof on its own (normally loopback-only)
+// listener until that listener is closed, so hot-path regressions can be
+// profiled in place without exposing pprof on the API address.
+func startPprof(addr string) (net.Listener, error) {
+	pln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "ppserve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	go func() {
+		// DefaultServeMux carries the net/http/pprof handlers; the main API
+		// server uses an explicit handler and is unaffected.
+		if err := http.Serve(pln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "ppserve: pprof server: %v\n", err)
+		}
+	}()
+	return pln, nil
 }
 
 // serveOn runs the daemon on an existing listener until ctx is cancelled,

@@ -86,6 +86,25 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPprofEndpoint: the opt-in profiling listener serves the pprof index
+// on its own port.
+func TestPprofEndpoint(t *testing.T) {
+	pln, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pln.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", pln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-addr", "not-an-address"}); err == nil {
 		t.Error("bad address should fail")

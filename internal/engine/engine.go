@@ -663,11 +663,7 @@ func (e *Engine) doCover(ctx context.Context, req Request, entry protocols.Entry
 		return err
 	}
 	defer release()
-	m1, err := reach.MaxCoverLengthInterruptible(p, ic, 1, req.Limit, ctx.Done())
-	if err != nil {
-		return err
-	}
-	m0, err := reach.MaxCoverLengthInterruptible(p, ic, 0, req.Limit, ctx.Done())
+	m1, m0, err := reach.MaxCoverLengthsBothInterruptible(p, ic, req.Limit, ctx.Done())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,129 @@
+package reach
+
+// Benchmarks of the exploration core on a ≥100k-configuration workload
+// (flock(6) from IC(36): 120,036 configurations). The *Naive benchmarks
+// run the retained pre-arena core (naive_test.go) and are the "before"
+// side of the comparison pinned in BENCH_reach.json; run scripts/bench.sh
+// to regenerate it.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/protocols"
+)
+
+func benchWorkload() (*protocols.Entry, multiset.Vec) {
+	e := protocols.FlockOfBirds(6)
+	return &e, e.Protocol.InitialConfigN(36)
+}
+
+// BenchmarkExploreArena100k: the arena-backed sequential explorer.
+func BenchmarkExploreArena100k(b *testing.B) {
+	e, start := benchWorkload()
+	p := e.Protocol
+	b.ReportAllocs()
+	var configs int
+	for i := 0; i < b.N; i++ {
+		g, err := Explore(p, start, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs = g.Len()
+	}
+	b.ReportMetric(float64(configs), "configs")
+}
+
+// BenchmarkExploreNaive100k: the pre-PR core (string-keyed map dedup,
+// per-config allocation) on the same workload.
+func BenchmarkExploreNaive100k(b *testing.B) {
+	e, start := benchWorkload()
+	p := e.Protocol
+	b.ReportAllocs()
+	var configs int
+	for i := 0; i < b.N; i++ {
+		g, err := naiveExplore(p, start, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs = len(g.configs)
+	}
+	b.ReportMetric(float64(configs), "configs")
+}
+
+// BenchmarkExploreParallel100k: the frontier-parallel explorer at several
+// worker counts. Scaling requires GOMAXPROCS > 1; on a single-core host
+// this measures the level-synchronization overhead instead.
+func BenchmarkExploreParallel100k(b *testing.B) {
+	e, start := benchWorkload()
+	p := e.Protocol
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ExploreParallel(p, start, 0, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoverEarlyExit100k: goal-directed coverability — the BFS stops
+// at the first level covering the cap state instead of materializing all
+// 120k configurations.
+func BenchmarkCoverEarlyExit100k(b *testing.B) {
+	e, start := benchWorkload()
+	p := e.Protocol
+	cap6, ok := p.StateByName("6")
+	if !ok {
+		b.Fatal("no cap state")
+	}
+	target := multiset.Unit(p.NumStates(), int(cap6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, found, err := CoverLength(p, start, target, 0)
+		if err != nil || !found || l == 0 {
+			b.Fatalf("cover = %d,%t,%v", l, found, err)
+		}
+	}
+}
+
+// BenchmarkCoverNaive100k: the pre-PR coverability query — full
+// exploration, then a scan over every configuration.
+func BenchmarkCoverNaive100k(b *testing.B) {
+	e, start := benchWorkload()
+	p := e.Protocol
+	cap6, ok := p.StateByName("6")
+	if !ok {
+		b.Fatal("no cap state")
+	}
+	target := multiset.Unit(p.NumStates(), int(cap6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := naiveExplore(p, start, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, found := naiveCoverLength(g, target)
+		if !found || l == 0 {
+			b.Fatalf("cover = %d,%t", l, found)
+		}
+	}
+}
+
+// BenchmarkMaxCoverBoth100k: the engine's cover kind — max shortest
+// covering length over every state of both outputs, in one exploration
+// (the pre-PR implementation re-explored the graph once per state).
+func BenchmarkMaxCoverBoth100k(b *testing.B) {
+	e, start := benchWorkload()
+	p := e.Protocol
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m1, m0, err := MaxCoverLengthsBothInterruptible(p, start, 0, nil)
+		if err != nil || (m1 == 0 && m0 == 0) {
+			b.Fatalf("max cover = %d,%d,%v", m1, m0, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/multiset"
@@ -34,6 +35,101 @@ func TestCoverLength(t *testing.T) {
 	// Dimension mismatch.
 	if _, _, err := CoverLength(p, p.InitialConfigN(4), multiset.New(2), 0); err == nil {
 		t.Fatal("want dimension error")
+	}
+}
+
+// TestCoverLengthEarlyExit: the goal-directed BFS answers shallow queries
+// without materializing the full graph, so a limit far below the full
+// graph size is no obstacle when the target is covered early.
+func TestCoverLengthEarlyExit(t *testing.T) {
+	e := protocols.FlockOfBirds(6)
+	p := e.Protocol
+	// The full graph from IC(36) has >100k configurations; state "2" is
+	// covered after a single merge.
+	two, ok := p.StateByName("2")
+	if !ok {
+		t.Fatal("no state named 2")
+	}
+	target := multiset.Unit(p.NumStates(), int(two))
+	l, found, err := CoverLength(p, p.InitialConfigN(36), target, 1000)
+	if err != nil {
+		t.Fatalf("CoverLength with small limit: %v", err)
+	}
+	if !found || l != 1 {
+		t.Fatalf("cover length = %d,%t, want 1,true", l, found)
+	}
+	// An uncoverable target still explores everything, so the limit bites.
+	impossible := multiset.New(p.NumStates())
+	impossible[two] = 100 // only 36 agents exist
+	if _, _, err := CoverLength(p, p.InitialConfigN(36), impossible, 1000); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("want ErrLimitExceeded, got %v", err)
+	}
+}
+
+func TestCoverLengths(t *testing.T) {
+	e := protocols.Succinct(2)
+	p := e.Protocol
+	top, _ := p.StateByName("2^2")
+	in := p.InputState(0)
+	targets := []multiset.Vec{
+		multiset.Unit(p.NumStates(), int(top)), // 3 merges away
+		multiset.Unit(p.NumStates(), int(in)),  // covered at the start
+		func() multiset.Vec { // uncoverable: 5 copies of the top with 4 agents
+			v := multiset.New(p.NumStates())
+			v[top] = 5
+			return v
+		}(),
+	}
+	ls, err := CoverLengths(p, p.InitialConfigN(4), targets, 0)
+	if err != nil {
+		t.Fatalf("CoverLengths: %v", err)
+	}
+	if ls[0] != 3 || ls[1] != 0 || ls[2] != -1 {
+		t.Fatalf("lengths = %v, want [3 0 -1]", ls)
+	}
+	// Dimension mismatch is rejected.
+	if _, err := CoverLengths(p, p.InitialConfigN(4), []multiset.Vec{multiset.New(2)}, 0); err == nil {
+		t.Fatal("want dimension error")
+	}
+	// No targets: nothing to do, nothing explored.
+	if ls, err := CoverLengths(p, p.InitialConfigN(4), nil, 0); err != nil || len(ls) != 0 {
+		t.Fatalf("empty targets: %v %v", ls, err)
+	}
+}
+
+// TestMaxCoverLengthsBoth: the single-exploration both-outputs query must
+// agree with two separate MaxCoverLength calls.
+func TestMaxCoverLengthsBoth(t *testing.T) {
+	for _, e := range []protocols.Entry{protocols.FlockOfBirds(4), protocols.Succinct(2), protocols.Parity()} {
+		p := e.Protocol
+		start := p.InitialConfigN(5)
+		m1, m0, err := MaxCoverLengthsBothInterruptible(p, start, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		w1, err := MaxCoverLength(p, start, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w0, err := MaxCoverLength(p, start, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != w1 || m0 != w0 {
+			t.Fatalf("%s: both = (%d,%d), separate = (%d,%d)", p.Name(), m1, m0, w1, w0)
+		}
+	}
+}
+
+func TestCoverLengthInterrupt(t *testing.T) {
+	e := protocols.FlockOfBirds(6)
+	p := e.Protocol
+	stop := make(chan struct{})
+	close(stop)
+	top, _ := p.StateByName("6")
+	target := multiset.Unit(p.NumStates(), int(top))
+	if _, _, err := CoverLengthInterruptible(p, p.InitialConfigN(30), target, 0, stop); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
 	}
 }
 

@@ -11,11 +11,19 @@
 // from IC(v) stabilises to output b iff every bottom SCC reachable from
 // IC(v) is a b-consensus (all its configurations have output b), and the
 // protocol computes ϕ on input v iff this holds with b = ϕ(v).
+//
+// The exploration core is built for throughput: configurations live
+// dimension-strided in one flat arena, successor lists are a single CSR
+// (compressed sparse row) structure, and deduplication goes through an
+// open-addressing index that hashes the raw coordinates — no per-node
+// allocations on the hot path. See docs/performance.md for the layout, the
+// parallel explorer, and the determinism guarantees.
 package reach
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/multiset"
 	"repro/internal/protocol"
@@ -29,7 +37,8 @@ var ErrLimitExceeded = errors.New("reach: configuration limit exceeded")
 // (cooperative cancellation; see ExploreInterruptible).
 var ErrInterrupted = errors.New("reach: interrupted")
 
-// interrupted polls a stop channel without blocking.
+// interrupted polls a stop channel without blocking. Hot loops batch calls
+// (every ~1024 nodes) so the select never shows up in profiles.
 func interrupted(stop <-chan struct{}) bool {
 	if stop == nil {
 		return false
@@ -50,16 +59,56 @@ type Step struct {
 }
 
 // Graph is the set of configurations reachable from a start configuration,
-// with its transition edges. Node 0 is the start configuration.
+// with its transition edges. Node 0 is the start configuration; nodes are
+// numbered in BFS discovery order (by level, and within a level by the
+// (source node, transition index) of the discovering edge), so each BFS
+// level is a contiguous id range. Explore and ExploreParallel produce
+// identical numberings.
 type Graph struct {
-	p       *protocol.Protocol
-	configs []protocol.Config
-	index   map[string]int
-	succs   [][]int32
-	// BFS tree for path reconstruction: parent node and the transition fired.
+	p     *protocol.Protocol
+	store configStore
+	idx   nodeIndex
+	// Successor lists in CSR form: the successors of node i are
+	// succ[succOff[i]:succOff[i+1]] (identity self-loops omitted,
+	// duplicate edges collapsed).
+	succOff []int64
+	succ    []int32
+	// BFS tree for path reconstruction: parent node, the transition fired,
+	// and the BFS depth (= shortest path length from the start).
 	parent     []int32
 	parentTran []int32
+	depth      []int32
 }
+
+// tran is a compact non-identity transition: pre ⟅p,q⟆, post ⟅p2,q2⟆.
+type tran struct {
+	p, q, p2, q2 int32
+	idx          int32 // index in the protocol's transition list
+}
+
+// compactTransitions returns the protocol's non-identity transitions in a
+// form the exploration inner loop consumes without method calls or
+// displacement vectors.
+func compactTransitions(p *protocol.Protocol) []tran {
+	var out []tran
+	for t := 0; t < p.NumTransitions(); t++ {
+		if p.Displacement(t).IsZero() {
+			continue // identity transition: self-loop, irrelevant to SCCs
+		}
+		tr := p.Transition(t)
+		out = append(out, tran{
+			p: int32(tr.P), q: int32(tr.Q), p2: int32(tr.P2), q2: int32(tr.Q2),
+			idx: int32(t),
+		})
+	}
+	return out
+}
+
+// visitFunc observes every newly discovered node (including node 0) at its
+// BFS depth. Returning false stops the exploration immediately; the graph
+// is then partial (valid parent/depth data, incomplete successor lists) and
+// is only used internally, e.g. by the goal-directed cover search.
+type visitFunc func(g *Graph, node, depth int32) bool
 
 // Explore builds the configuration graph reachable from start. It returns
 // ErrLimitExceeded if more than limit configurations are reachable
@@ -72,63 +121,104 @@ func Explore(p *protocol.Protocol, start protocol.Config, limit int) (*Graph, er
 // with ErrInterrupted soon after the stop channel closes. A nil channel
 // disables the checks.
 func ExploreInterruptible(p *protocol.Protocol, start protocol.Config, limit int, stop <-chan struct{}) (*Graph, error) {
+	return exploreCore(p, start, limit, stop, nil)
+}
+
+// clampLimit normalizes the configuration limit: ≤ 0 means the default,
+// and node ids must fit in int32.
+func clampLimit(limit int) int {
 	if limit <= 0 {
 		limit = 2_000_000
 	}
+	if limit > math.MaxInt32-1 {
+		limit = math.MaxInt32 - 1
+	}
+	return limit
+}
+
+// newGraph allocates an empty graph holding only the start configuration.
+func newGraph(p *protocol.Protocol, start protocol.Config) *Graph {
+	g := &Graph{
+		p:       p,
+		store:   configStore{dim: p.NumStates()},
+		succOff: make([]int64, 1, 1024),
+	}
+	g.store.add(start)
+	g.idx.add(0, hashWords(start))
+	g.parent = append(g.parent, -1)
+	g.parentTran = append(g.parentTran, -1)
+	g.depth = append(g.depth, 0)
+	return g
+}
+
+// exploreCore is the sequential BFS over the configuration graph. All
+// public sequential entry points (Explore, CoverLengths, ...) funnel here.
+func exploreCore(p *protocol.Protocol, start protocol.Config, limit int, stop <-chan struct{}, visit visitFunc) (*Graph, error) {
+	limit = clampLimit(limit)
 	if start.Dim() != p.NumStates() {
 		return nil, fmt.Errorf("reach: start configuration has dimension %d, want %d",
 			start.Dim(), p.NumStates())
 	}
-	g := &Graph{
-		p:     p,
-		index: make(map[string]int),
+	g := newGraph(p, start)
+	if visit != nil && !visit(g, 0, 0) {
+		return g, nil
 	}
-	add := func(c protocol.Config, from, tran int32) (int, bool) {
-		k := c.Key()
-		if i, ok := g.index[k]; ok {
-			return i, false
-		}
-		i := len(g.configs)
-		g.configs = append(g.configs, c.Clone())
-		g.index[k] = i
-		g.succs = append(g.succs, nil)
-		g.parent = append(g.parent, from)
-		g.parentTran = append(g.parentTran, tran)
-		return i, true
-	}
-	add(start, -1, -1)
-	for head := 0; head < len(g.configs); head++ {
+	trans := compactTransitions(p)
+	next := make([]int64, g.store.dim)
+	for head := 0; head < g.store.n; head++ {
 		if head&1023 == 0 && interrupted(stop) {
 			return nil, ErrInterrupted
 		}
-		c := g.configs[head]
-		next := c.Clone()
-		for t := 0; t < p.NumTransitions(); t++ {
-			if !p.Enabled(c, t) {
+		c := g.store.at(int32(head))
+		d := g.depth[head]
+		segStart := len(g.succ) // this node's successor segment under construction
+		for _, t := range trans {
+			if t.p == t.q {
+				if c[t.p] < 2 {
+					continue
+				}
+			} else if c[t.p] < 1 || c[t.q] < 1 {
 				continue
 			}
-			d := p.Displacement(t)
-			if d.IsZero() {
-				continue // identity transition: self-loop, irrelevant to SCCs
-			}
 			copy(next, c)
-			next.AddInPlace(d)
-			j, fresh := add(next, int32(head), int32(t))
-			if fresh && len(g.configs) > limit {
-				return nil, fmt.Errorf("%w: limit %d from %s", ErrLimitExceeded, limit, p.FormatConfig(start))
+			next[t.p]--
+			next[t.q]--
+			next[t.p2]++
+			next[t.q2]++
+			h := hashWords(next)
+			j, ok := g.idx.lookup(&g.store, next, h)
+			if !ok {
+				if g.store.n >= limit {
+					return nil, fmt.Errorf("%w: limit %d from %s", ErrLimitExceeded, limit, p.FormatConfig(start))
+				}
+				j = g.store.add(next)
+				g.idx.add(j, h)
+				g.parent = append(g.parent, int32(head))
+				g.parentTran = append(g.parentTran, t.idx)
+				g.depth = append(g.depth, d+1)
+				if visit != nil && !visit(g, j, d+1) {
+					return g, nil
+				}
+				// The arena may have been reallocated; refresh the view of
+				// the head configuration (contents are unchanged either way).
+				c = g.store.at(int32(head))
+			}
+			if int(j) == head {
+				continue
 			}
 			// Dedup successor edges (degree is small).
 			dup := false
-			for _, s := range g.succs[head] {
-				if int(s) == j {
+			for _, s := range g.succ[segStart:] {
+				if s == j {
 					dup = true
 					break
 				}
 			}
-			if !dup && j != head {
-				g.succs[head] = append(g.succs[head], int32(j))
+			if !dup {
+				g.succ = append(g.succ, j)
 			}
 		}
+		g.succOff = append(g.succOff, int64(len(g.succ)))
 	}
 	return g, nil
 }
@@ -137,29 +227,36 @@ func ExploreInterruptible(p *protocol.Protocol, start protocol.Config, limit int
 func (g *Graph) Protocol() *protocol.Protocol { return g.p }
 
 // Len returns the number of reachable configurations.
-func (g *Graph) Len() int { return len(g.configs) }
+func (g *Graph) Len() int { return g.store.n }
 
-// Config returns configuration i. The returned vector is owned by the graph
-// and must not be modified.
-func (g *Graph) Config(i int) protocol.Config { return g.configs[i] }
+// Config returns configuration i. The returned vector is a view into the
+// graph's arena and must not be modified.
+func (g *Graph) Config(i int) protocol.Config { return protocol.Config(g.store.at(int32(i))) }
 
 // Start returns the start configuration (node 0).
-func (g *Graph) Start() protocol.Config { return g.configs[0] }
+func (g *Graph) Start() protocol.Config { return g.Config(0) }
+
+// Depth returns the BFS depth of node i, i.e. the length of a shortest
+// execution from the start configuration to it.
+func (g *Graph) Depth(i int) int { return int(g.depth[i]) }
 
 // IndexOf returns the node index of configuration c.
 func (g *Graph) IndexOf(c protocol.Config) (int, bool) {
-	i, ok := g.index[c.Key()]
-	return i, ok
+	if c.Dim() != g.store.dim {
+		return 0, false
+	}
+	i, ok := g.idx.lookup(&g.store, c, hashWords(c))
+	return int(i), ok
 }
 
 // Succs returns the successor node indices of node i (identity self-loops
 // omitted). The slice is owned by the graph and must not be modified.
-func (g *Graph) Succs(i int) []int32 { return g.succs[i] }
+func (g *Graph) Succs(i int) []int32 { return g.succ[g.succOff[i]:g.succOff[i+1]] }
 
 // Path returns the sequence of steps of a shortest path (in the BFS tree)
 // from the start configuration to node i.
 func (g *Graph) Path(i int) []Step {
-	var rev []Step
+	rev := make([]Step, 0, g.depth[i])
 	for i != 0 {
 		rev = append(rev, Step{Transition: int(g.parentTran[i]), To: i})
 		i = int(g.parent[i])
@@ -203,8 +300,8 @@ func (g *Graph) CanReach(target protocol.Config) bool {
 // Filter returns the indices of configurations satisfying keep.
 func (g *Graph) Filter(keep func(protocol.Config) bool) []int {
 	var out []int
-	for i, c := range g.configs {
-		if keep(c) {
+	for i := 0; i < g.store.n; i++ {
+		if keep(g.Config(i)) {
 			out = append(out, i)
 		}
 	}

@@ -4,23 +4,56 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/protocol"
 )
 
 // ExploreParallel builds the same configuration graph as Explore using a
-// level-synchronized parallel BFS: within each level, successor computation
-// (the enabledness/firing work) fans out across workers; the merge into the
-// shared node table is single-threaded, keeping the data structures free of
-// locks on the hot read path. The set of configurations, the reachability
-// relation, and the BFS level of every node are identical to Explore's;
-// node numbering within a level may differ between runs.
+// frontier-parallel BFS. Nodes are numbered in BFS discovery order, so each
+// level occupies a contiguous id range; per level the work proceeds in four
+// phases:
 //
-// workers ≤ 0 selects GOMAXPROCS.
+//  1. fan-out: workers split the frontier range, compute successors, hash
+//     them, and probe the (read-only during this phase) index;
+//  2. sharded dedup: candidate-new configurations are deduplicated within
+//     the level, in parallel per index shard;
+//  3. numbering: a single cheap scan assigns fresh node ids in (source
+//     node, transition index) order — exactly the order the sequential
+//     explorer discovers them in, so the numbering, BFS tree, and parent
+//     edges are identical to Explore's;
+//  4. sharded insertion: workers copy the new configurations into the
+//     arena and insert them into their own index shards concurrently.
+//
+// The graph — node numbering included — is deterministic and identical to
+// Explore's for any worker count. workers ≤ 0 selects GOMAXPROCS.
 func ExploreParallel(p *protocol.Protocol, start protocol.Config, limit, workers int) (*Graph, error) {
-	if limit <= 0 {
-		limit = 2_000_000
-	}
+	return ExploreParallelInterruptible(p, start, limit, workers, nil)
+}
+
+// pedge is one candidate edge produced by the fan-out phase.
+type pedge struct {
+	src   int32
+	tran  int32 // transition index in protocol numbering
+	found int32 // target id if it was already in the index, else -1
+	dup   int32 // earlier edge index this level with the same config (-1 = canonical)
+	id    int32 // final target id, set by the numbering phase
+	hash  uint64
+	cfg   []int64 // candidate configuration; nil when found ≥ 0
+}
+
+// workerOut is one worker's share of a level: its edges in (source,
+// transition) order, plus its candidate-new edges bucketed by index shard.
+type workerOut struct {
+	edges   []pedge
+	byShard [numShards][]int32 // local edge indices
+}
+
+// ExploreParallelInterruptible is ExploreParallel with cooperative
+// cancellation: it aborts with ErrInterrupted soon after the stop channel
+// closes. A nil channel disables the checks.
+func ExploreParallelInterruptible(p *protocol.Protocol, start protocol.Config, limit, workers int, stop <-chan struct{}) (*Graph, error) {
+	limit = clampLimit(limit)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -28,106 +61,206 @@ func ExploreParallel(p *protocol.Protocol, start protocol.Config, limit, workers
 		return nil, fmt.Errorf("reach: start configuration has dimension %d, want %d",
 			start.Dim(), p.NumStates())
 	}
-	g := &Graph{
-		p:     p,
-		index: make(map[string]int),
-	}
-	g.configs = append(g.configs, start.Clone())
-	g.index[start.Key()] = 0
-	g.succs = append(g.succs, nil)
-	g.parent = append(g.parent, -1)
-	g.parentTran = append(g.parentTran, -1)
+	g := newGraph(p, start)
+	trans := compactTransitions(p)
+	dim := g.store.dim
+	var aborted atomic.Bool
 
-	// Pre-collect non-identity transitions once.
-	var trans []int
-	for t := 0; t < p.NumTransitions(); t++ {
-		if !p.Displacement(t).IsZero() {
-			trans = append(trans, t)
+	for lo, hi := 0, g.store.n; lo < hi; lo, hi = hi, g.store.n {
+		if interrupted(stop) {
+			return nil, ErrInterrupted
 		}
-	}
 
-	type edge struct {
-		from int32
-		tran int32
-		cfg  protocol.Config
-		key  string
-	}
-
-	level := []int32{0}
-	for len(level) > 0 {
-		// Fan out successor computation.
-		results := make([][]edge, workers)
+		// Phase 1: fan out successor generation across the frontier range.
+		nw := workers
+		if hi-lo < nw {
+			nw = hi - lo
+		}
+		chunk := (hi - lo + nw - 1) / nw
+		results := make([]workerOut, nw)
 		var wg sync.WaitGroup
-		chunk := (len(level) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo >= len(level) {
-				break
-			}
-			hi := lo + chunk
-			if hi > len(level) {
-				hi = len(level)
+		for w := 0; w < nw; w++ {
+			clo := lo + w*chunk
+			chi := clo + chunk
+			if chi > hi {
+				chi = hi
 			}
 			wg.Add(1)
-			go func(w int, nodes []int32) {
+			go func(w, clo, chi int) {
 				defer wg.Done()
-				var out []edge
-				next := protocol.Config(make([]int64, p.NumStates()))
-				for _, n := range nodes {
-					c := g.configs[n]
+				var out workerOut
+				var buf []int64 // worker-local arena for candidate configs
+				next := make([]int64, dim)
+				for n := clo; n < chi; n++ {
+					if (n-clo)&255 == 0 && (aborted.Load() || interrupted(stop)) {
+						aborted.Store(true)
+						return
+					}
+					c := g.store.at(int32(n))
 					for _, t := range trans {
-						if !p.Enabled(c, t) {
+						if t.p == t.q {
+							if c[t.p] < 2 {
+								continue
+							}
+						} else if c[t.p] < 1 || c[t.q] < 1 {
 							continue
 						}
 						copy(next, c)
-						next.AddInPlace(p.Displacement(t))
-						out = append(out, edge{
-							from: n,
-							tran: int32(t),
-							cfg:  next.Clone(),
-							key:  next.Key(),
+						next[t.p]--
+						next[t.q]--
+						next[t.p2]++
+						next[t.q2]++
+						h := hashWords(next)
+						found := int32(-1)
+						if j, ok := g.idx.lookup(&g.store, next, h); ok {
+							found = j
+						}
+						var cfg []int64
+						if found < 0 {
+							k := len(buf)
+							buf = append(buf, next...)
+							cfg = buf[k : k+dim : k+dim]
+							sh := h >> (64 - shardBits)
+							out.byShard[sh] = append(out.byShard[sh], int32(len(out.edges)))
+						}
+						out.edges = append(out.edges, pedge{
+							src: int32(n), tran: t.idx, found: found, dup: -1, hash: h, cfg: cfg,
 						})
 					}
 				}
 				results[w] = out
-			}(w, level[lo:hi])
+			}(w, clo, chi)
 		}
 		wg.Wait()
+		if aborted.Load() {
+			return nil, ErrInterrupted
+		}
 
-		// Merge single-threaded.
-		var nextLevel []int32
-		for _, out := range results {
-			for _, e := range out {
-				j, ok := g.index[e.key]
-				if !ok {
-					j = len(g.configs)
-					if j > limit {
-						return nil, fmt.Errorf("%w: limit %d from %s",
-							ErrLimitExceeded, limit, p.FormatConfig(start))
-					}
-					g.configs = append(g.configs, e.cfg)
-					g.index[e.key] = j
-					g.succs = append(g.succs, nil)
-					g.parent = append(g.parent, e.from)
-					g.parentTran = append(g.parentTran, e.tran)
-					nextLevel = append(nextLevel, int32(j))
-				}
-				if int32(j) == e.from {
-					continue
-				}
-				dup := false
-				for _, s := range g.succs[e.from] {
-					if int(s) == j {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					g.succs[e.from] = append(g.succs[e.from], int32(j))
+		// Glue: concatenate the per-worker edge lists (worker order ×
+		// in-worker order = global (source, transition) order) and lift the
+		// per-shard candidate buckets to global edge indices, preserving
+		// that order.
+		total := 0
+		for w := range results {
+			total += len(results[w].edges)
+		}
+		edges := make([]pedge, 0, total)
+		var shardCand [numShards][]int32
+		for w := range results {
+			base := int32(len(edges))
+			edges = append(edges, results[w].edges...)
+			for s := 0; s < numShards; s++ {
+				for _, li := range results[w].byShard[s] {
+					shardCand[s] = append(shardCand[s], base+li)
 				}
 			}
 		}
-		level = nextLevel
+
+		// Phase 2: intra-level dedup, parallel per shard. Configurations in
+		// different shards hash differently, so shards are independent.
+		pw := workers
+		if pw > numShards {
+			pw = numShards
+		}
+		var dwg sync.WaitGroup
+		for w := 0; w < pw; w++ {
+			dwg.Add(1)
+			go func(w int) {
+				defer dwg.Done()
+				for s := w; s < numShards; s += pw {
+					seen := make(map[uint64][]int32)
+					for _, ei := range shardCand[s] {
+						e := &edges[ei]
+						canon := seen[e.hash]
+						for _, cj := range canon {
+							if eqWords(edges[cj].cfg, e.cfg) {
+								e.dup = cj
+								break
+							}
+						}
+						if e.dup < 0 {
+							seen[e.hash] = append(canon, ei)
+						}
+					}
+				}
+			}(w)
+		}
+		dwg.Wait()
+
+		// Phase 3: deterministic numbering. Fresh ids are assigned in edge
+		// order, i.e. exactly the sequential explorer's discovery order.
+		fresh := 0
+		for ei := range edges {
+			e := &edges[ei]
+			switch {
+			case e.found >= 0:
+				e.id = e.found
+			case e.dup >= 0:
+				e.id = edges[e.dup].id
+			default:
+				if g.store.n+fresh >= limit {
+					return nil, fmt.Errorf("%w: limit %d from %s", ErrLimitExceeded, limit, p.FormatConfig(start))
+				}
+				e.id = int32(g.store.n + fresh)
+				fresh++
+				g.parent = append(g.parent, e.src)
+				g.parentTran = append(g.parentTran, e.tran)
+				g.depth = append(g.depth, g.depth[e.src]+1)
+			}
+		}
+
+		// Phase 4: sharded insertion. The arena is grown once; workers then
+		// copy configurations into their reserved slots and insert into
+		// their own index shards concurrently.
+		g.store.grow(fresh)
+		var iwg sync.WaitGroup
+		for w := 0; w < pw; w++ {
+			iwg.Add(1)
+			go func(w int) {
+				defer iwg.Done()
+				for s := w; s < numShards; s += pw {
+					for _, ei := range shardCand[s] {
+						e := &edges[ei]
+						if e.dup >= 0 {
+							continue
+						}
+						g.store.setAt(e.id, e.cfg)
+						g.idx.add(e.id, e.hash)
+					}
+				}
+			}(w)
+		}
+		iwg.Wait()
+
+		// CSR merge: edges are in source order, so successor segments can
+		// be appended directly; empty sources are closed in passing.
+		nextToClose := lo
+		segStart := len(g.succ)
+		closeTo := func(s int) {
+			for nextToClose < s {
+				g.succOff = append(g.succOff, int64(len(g.succ)))
+				nextToClose++
+				segStart = len(g.succ)
+			}
+		}
+		for ei := range edges {
+			e := &edges[ei]
+			closeTo(int(e.src))
+			if e.id == e.src {
+				continue
+			}
+			dup := false
+			for _, s := range g.succ[segStart:] {
+				if s == e.id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				g.succ = append(g.succ, e.id)
+			}
+		}
+		closeTo(hi)
 	}
 	return g, nil
 }

@@ -80,22 +80,60 @@ func TestExploreParallelDimensionMismatch(t *testing.T) {
 	}
 }
 
-func BenchmarkExploreSequentialVsParallel(b *testing.B) {
-	e := protocols.FlockOfBirds(7)
+// TestExploreParallelDeterministicNumbering: beyond the set/depth equality
+// above, the parallel explorer must reproduce the sequential numbering,
+// BFS tree, and successor lists bit for bit, for every worker count.
+func TestExploreParallelDeterministicNumbering(t *testing.T) {
+	e := protocols.Succinct(3)
 	p := e.Protocol
-	start := p.InitialConfigN(13)
-	b.Run("sequential", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := Explore(p, start, 0); err != nil {
-				b.Fatal(err)
+	seq, err := Explore(p, p.InitialConfigN(9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		par, err := ExploreParallel(p, p.InitialConfigN(9), 0, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Len() != seq.Len() {
+			t.Fatalf("workers=%d: %d nodes, want %d", workers, par.Len(), seq.Len())
+		}
+		for i := 0; i < seq.Len(); i++ {
+			if !par.Config(i).Equal(seq.Config(i)) {
+				t.Fatalf("workers=%d: node %d differs", workers, i)
+			}
+			if par.Depth(i) != seq.Depth(i) {
+				t.Fatalf("workers=%d: node %d depth %d, want %d", workers, i, par.Depth(i), seq.Depth(i))
+			}
+			ps, ss := par.Succs(i), seq.Succs(i)
+			if len(ps) != len(ss) {
+				t.Fatalf("workers=%d: node %d succs %v, want %v", workers, i, ps, ss)
+			}
+			for k := range ss {
+				if ps[k] != ss[k] {
+					t.Fatalf("workers=%d: node %d succs %v, want %v", workers, i, ps, ss)
+				}
 			}
 		}
-	})
-	b.Run("parallel", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := ExploreParallel(p, start, 0, 0); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	}
+}
+
+func TestExploreParallelInterrupt(t *testing.T) {
+	e := protocols.FlockOfBirds(6)
+	p := e.Protocol
+	stop := make(chan struct{})
+	close(stop)
+	if _, err := ExploreParallelInterruptible(p, p.InitialConfigN(30), 0, 2, stop); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+}
+
+func TestExploreInterrupt(t *testing.T) {
+	e := protocols.FlockOfBirds(6)
+	p := e.Protocol
+	stop := make(chan struct{})
+	close(stop)
+	if _, err := ExploreInterruptible(p, p.InitialConfigN(30), 0, stop); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
 }

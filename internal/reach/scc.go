@@ -52,8 +52,8 @@ func (g *Graph) SCCs() *SCCInfo {
 		for len(call) > 0 {
 			f := &call[len(call)-1]
 			v := f.v
-			if f.next < len(g.succs[v]) {
-				w := g.succs[v][f.next]
+			if succs := g.Succs(int(v)); f.next < len(succs) {
+				w := succs[f.next]
 				f.next++
 				if index[w] == unvisited {
 					index[w] = nextIdx
@@ -103,7 +103,7 @@ func (g *Graph) SCCs() *SCCInfo {
 	}
 	for v := 0; v < n; v++ {
 		info.Members[comp[v]] = append(info.Members[comp[v]], int32(v))
-		for _, w := range g.succs[v] {
+		for _, w := range g.Succs(v) {
 			if comp[w] != comp[v] {
 				info.Bottom[comp[v]] = false
 			}
@@ -130,7 +130,7 @@ func (g *Graph) fairOutput(info *SCCInfo) (int, bool) {
 			continue
 		}
 		for _, v := range info.Members[c] {
-			ob, ok := g.p.OutputOf(g.configs[v])
+			ob, ok := g.p.OutputOf(g.Config(int(v)))
 			if !ok {
 				return -1, false
 			}
@@ -162,11 +162,11 @@ func (g *Graph) StableFlags(b int) []bool {
 	for c := 0; c < info.NumComps; c++ {
 		stable := true
 		for _, v := range info.Members[c] {
-			if ob, ok := g.p.OutputOf(g.configs[v]); !ok || ob != b {
+			if ob, ok := g.p.OutputOf(g.Config(int(v))); !ok || ob != b {
 				stable = false
 				break
 			}
-			for _, w := range g.succs[v] {
+			for _, w := range g.Succs(int(v)) {
 				wc := info.Comp[w]
 				if wc != int32(c) && !compStable[wc] {
 					stable = false

@@ -212,14 +212,18 @@ func Run(p *protocol.Protocol, c0 protocol.Config, opts Options) (Stats, error) 
 		if opts.TraceEvery > 0 && st.Interactions%opts.TraceEvery == 0 {
 			record()
 		}
-		if st.Interactions%checkEvery == 0 {
-			if opts.Interrupt != nil {
-				select {
-				case <-opts.Interrupt:
-					return st, ErrInterrupted
-				default:
-				}
+		// The interrupt poll runs on its own ~1k-interaction cadence,
+		// decoupled from the oracle cadence: cancellation stays prompt when
+		// CheckEvery is large, and tiny populations (CheckEvery = n) don't
+		// pay for a select every few interactions.
+		if st.Interactions&1023 == 0 && opts.Interrupt != nil {
+			select {
+			case <-opts.Interrupt:
+				return st, ErrInterrupted
+			default:
 			}
+		}
+		if st.Interactions%checkEvery == 0 {
 			if b, ok := oracle.Classify(c); ok {
 				st.Converged, st.Output = true, b
 				st.ConsensusAt = consensusStart

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# bench.sh — run the reachability-core benchmarks and pin the numbers.
+#
+# Runs the BenchmarkExplore*/BenchmarkCover*/BenchmarkMaxCover* suite in
+# internal/reach (which includes the retained pre-arena core as the
+# "before" side) and writes the results as JSON, so the performance
+# trajectory can be tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, writes BENCH_reach.json
+#   BENCHTIME=1x scripts/bench.sh    # smoke run (CI)
+#   OUT=/tmp/b.json scripts/bench.sh # alternate output path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2s}"
+out="${OUT:-BENCH_reach.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/reach -run '^$' \
+  -bench 'Benchmark(Explore|Cover|MaxCover)' \
+  -benchmem -benchtime "$benchtime" -count 1 | tee "$tmp" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go version | awk '{print $3}')" \
+    -v benchtime="$benchtime" \
+    -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}" '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+  name = $1; iters = $2
+  sub(/-[0-9]+$/, "", name) # drop the GOMAXPROCS suffix: names must match across machines
+  ns = ""; bytes = ""; allocs = ""; metrics = ""
+  for (i = 3; i < NF; i += 2) {
+    v = $i; u = $(i + 1)
+    if (u == "ns/op") ns = v
+    else if (u == "B/op") bytes = v
+    else if (u == "allocs/op") allocs = v
+    else {
+      if (metrics != "") metrics = metrics ", "
+      metrics = metrics "\"" u "\": " v
+    }
+  }
+  row = "    {\"name\": \"" name "\", \"iterations\": " iters
+  if (ns != "")     row = row ", \"ns_per_op\": " ns
+  if (bytes != "")  row = row ", \"bytes_per_op\": " bytes
+  if (allocs != "") row = row ", \"allocs_per_op\": " allocs
+  if (metrics != "") row = row ", \"metrics\": {" metrics "}"
+  row = row "}"
+  rows[n++] = row
+}
+END {
+  print "{"
+  print "  \"suite\": \"reach\","
+  print "  \"date\": \"" date "\","
+  print "  \"go\": \"" goversion "\","
+  print "  \"cpu\": \"" cpu "\","
+  print "  \"gomaxprocs\": " maxprocs ","
+  print "  \"benchtime\": \"" benchtime "\","
+  print "  \"notes\": \"*Naive benchmarks run the retained pre-arena core (the before side of the comparison); parallel scaling requires gomaxprocs > 1\","
+  print "  \"benchmarks\": ["
+  for (i = 0; i < n; i++) print rows[i] (i < n - 1 ? "," : "")
+  print "  ]"
+  print "}"
+}' "$tmp" > "$out"
+
+echo "wrote $out" >&2
