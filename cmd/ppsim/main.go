@@ -73,6 +73,11 @@ func run(args []string) error {
 		fmt.Printf("runs=%d converged=%d output=%d parallel(mean=%.1f median=%.1f p95=%.1f max=%.1f)\n",
 			est.Runs, est.Converged, est.Output,
 			est.MeanParallel, est.MedianParallel, est.P95Parallel, est.MaxParallel)
+		if est.TotalInteractions > 0 && res.ElapsedMillis > 0 {
+			fmt.Printf("executor: %d interactions in %.2f ms (%.2gM interactions/sec)\n",
+				est.TotalInteractions, res.ElapsedMillis,
+				float64(est.TotalInteractions)/res.ElapsedMillis/1000)
+		}
 		return nil
 	}
 	for _, tp := range st.Trace {

@@ -69,11 +69,13 @@ func HilbertBasisEq(a [][]int64, v int, opts Options) ([]multiset.Vec, error) {
 	}
 	var minimal []multiset.Vec
 	frontier := make([]node, 0, v)
-	seen := make(map[string]bool)
+	// Frontier dedup hashes raw coordinates (see vecset.go) instead of
+	// building a string key per candidate.
+	seen := newVecSet(v)
 	for j := 0; j < v; j++ {
 		y := multiset.Unit(v, j)
 		frontier = append(frontier, node{y: y, ay: cols[j].Clone()})
-		seen[y.Key()] = true
+		seen.insert(y)
 	}
 	examined := 0
 	for len(frontier) > 0 {
@@ -106,11 +108,9 @@ func HilbertBasisEq(a [][]int64, v int, opts Options) ([]multiset.Vec, error) {
 				}
 				y2 := nd.y.Clone()
 				y2[j]++
-				k := y2.Key()
-				if seen[k] {
+				if !seen.insert(y2) {
 					continue
 				}
-				seen[k] = true
 				next = append(next, node{y: y2, ay: nd.ay.Add(cols[j])})
 			}
 		}
@@ -143,15 +143,13 @@ func GeneratorsIneq(a [][]int64, v int, opts Options) ([]multiset.Vec, error) {
 		return nil, err
 	}
 	var out []multiset.Vec
-	seen := make(map[string]bool)
+	seen := newVecSet(v)
 	for _, b := range basis {
 		y := b[:v].Clone()
 		if y.IsZero() {
 			continue // pure-slack solutions project to 0
 		}
-		k := y.Key()
-		if !seen[k] {
-			seen[k] = true
+		if seen.insert(y) {
 			out = append(out, y)
 		}
 	}

@@ -1,0 +1,95 @@
+package dioph
+
+// This file implements the solver's candidate-dedup set: an arena-backed
+// open-addressing table that hashes the raw int64 coordinates of a vector
+// (FNV-1a over words + Murmur3 avalanche), the same playbook as the
+// reachability core's node index. The Contejean–Devie frontier previously
+// deduplicated through a map[string]bool keyed by multiset.Vec.Key, which
+// materialized (and retained) a string per examined candidate;
+// multiset.Vec.Key stays the serialization format only.
+
+import (
+	"repro/internal/multiset"
+	"repro/internal/wordhash"
+)
+
+// vecSet is a set of equal-dimension vectors. Members live back to back in
+// one flat arena; the open-addressing table stores member ids plus cached
+// hashes, so probe misses are rejected without touching the arena and
+// growth never recomputes hashes.
+type vecSet struct {
+	dim    int
+	arena  []int64
+	n      int
+	slots  []int32 // member id + 1; 0 = empty
+	hashes []uint64
+}
+
+func newVecSet(dim int) *vecSet {
+	return &vecSet{dim: dim}
+}
+
+// at returns member i as a slice view into the arena.
+func (s *vecSet) at(i int32) []int64 {
+	o := int(i) * s.dim
+	return s.arena[o : o+s.dim]
+}
+
+// insert adds v to the set, copying it into the arena; it reports whether v
+// was absent (false means an equal vector was already a member).
+func (s *vecSet) insert(v multiset.Vec) bool {
+	if (s.n+1)*4 > len(s.slots)*3 {
+		s.grow()
+	}
+	h := wordhash.Sum(v)
+	mask := uint64(len(s.slots) - 1)
+	i := h & mask
+	for {
+		id := s.slots[i]
+		if id == 0 {
+			break
+		}
+		if s.hashes[i] == h && eqVecWords(s.at(id-1), v) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	s.arena = append(s.arena, v...)
+	s.n++
+	s.slots[i] = int32(s.n)
+	s.hashes[i] = h
+	return true
+}
+
+// grow doubles the table (min 64 slots) and reinserts from the cached
+// hashes; the arena is not consulted.
+func (s *vecSet) grow() {
+	newCap := 64
+	if len(s.slots) > 0 {
+		newCap = len(s.slots) * 2
+	}
+	oldSlots, oldHashes := s.slots, s.hashes
+	s.slots = make([]int32, newCap)
+	s.hashes = make([]uint64, newCap)
+	mask := uint64(newCap - 1)
+	for j, id := range oldSlots {
+		if id == 0 {
+			continue
+		}
+		i := oldHashes[j] & mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = id
+		s.hashes[i] = oldHashes[j]
+	}
+}
+
+func eqVecWords(a []int64, b multiset.Vec) bool {
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -469,7 +469,11 @@ func (e *Engine) doSimulate(ctx context.Context, req Request, entry protocols.En
 	}
 	defer release()
 	if req.Runs > 1 {
-		est, err := sim.EstimateParallelTime(p, c0, req.Runs, opts)
+		// Route through the replica executor with a single worker: the
+		// request holds one engine execution slot, and the executor reuses
+		// the per-replica scratch (tables, Fenwick tree, config buffer)
+		// across all runs instead of rebuilding it per replica.
+		est, err := sim.RunReplicas(p, c0, req.Runs, opts, 1)
 		if err != nil {
 			return err
 		}
@@ -480,6 +484,7 @@ func (e *Engine) doSimulate(ctx context.Context, req Request, entry protocols.En
 				Runs: est.Runs, Converged: est.Converged, Output: est.Output,
 				MeanParallel: est.MeanParallel, MedianParallel: est.MedianParallel,
 				P95Parallel: est.P95Parallel, MaxParallel: est.MaxParallel,
+				TotalInteractions: est.TotalInteractions, MeanInteractions: est.MeanInteractions,
 			},
 		}
 		return nil

@@ -9,8 +9,50 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/multiset"
 	"repro/internal/protocols"
+	"repro/internal/sim"
 )
+
+// TestSimulateRunsRouteThroughReplicaExecutor pins the engine's multi-run
+// path to the replica executor: the estimate of a runs>1 request must be
+// exactly sim.RunReplicas on the same workload (same replica seeds, same
+// aggregate), with the executor's throughput fields populated.
+func TestSimulateRunsRouteThroughReplicaExecutor(t *testing.T) {
+	eng := New()
+	res := do(t, eng, Request{
+		Kind:     KindSimulate,
+		Protocol: ProtocolRef{Spec: "flock:4"},
+		Input:    []int64{16},
+		Seed:     9,
+		Runs:     5,
+	})
+	est := res.Simulation.Estimate
+	if est == nil {
+		t.Fatalf("runs>1 should return an estimate: %+v", res.Simulation)
+	}
+	e, err := protocols.FromName("flock:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Protocol
+	want, err := sim.RunReplicas(p, p.InitialConfig(multiset.Vec{16}), 5, sim.Options{Seed: 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Estimate{
+		Runs: est.Runs, Converged: est.Converged, Output: est.Output,
+		MeanParallel: est.MeanParallel, MedianParallel: est.MedianParallel,
+		P95Parallel: est.P95Parallel, MaxParallel: est.MaxParallel,
+		TotalInteractions: est.TotalInteractions, MeanInteractions: est.MeanInteractions,
+	}
+	if got != want {
+		t.Fatalf("engine estimate %+v, want the replica executor's %+v", got, want)
+	}
+	if est.TotalInteractions <= 0 || est.MeanInteractions <= 0 {
+		t.Fatalf("executor throughput fields missing: %+v", est)
+	}
+}
 
 // do runs a request on the engine and fails the test on error.
 func do(t *testing.T, eng *Engine, req Request) *Result {

@@ -35,6 +35,13 @@ type EstimateResult struct {
 	MedianParallel float64 `json:"medianParallel"`
 	P95Parallel    float64 `json:"p95Parallel"`
 	MaxParallel    float64 `json:"maxParallel"`
+	// TotalInteractions counts interactions across all runs (converged or
+	// not); with the result's ElapsedMillis it yields the executor's
+	// interactions/sec throughput.
+	TotalInteractions int64 `json:"totalInteractions,omitempty"`
+	// MeanInteractions is the mean convergence interaction count over the
+	// converged runs (0 if none converged).
+	MeanInteractions float64 `json:"meanInteractions,omitempty"`
 }
 
 // SimulationResult reports a simulate request.

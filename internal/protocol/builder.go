@@ -169,8 +169,11 @@ func (b *Builder) Build() (*Protocol, error) {
 		}
 	}
 
-	// Precompute displacements.
+	// Precompute displacements and their supports (the ≤4 states a firing
+	// touches), so hot loops apply transitions without scanning all of Q.
 	p.deltas = make([]multiset.Vec, len(p.transitions))
+	p.supStates = make([][]State, len(p.transitions))
+	p.supDeltas = make([][]int64, len(p.transitions))
 	for i, t := range p.transitions {
 		d := multiset.New(n)
 		d[t.P]--
@@ -178,6 +181,22 @@ func (b *Builder) Build() (*Protocol, error) {
 		d[t.P2]++
 		d[t.Q2]++
 		p.deltas[i] = d
+		for _, q := range [4]State{t.P, t.Q, t.P2, t.Q2} {
+			if d[q] == 0 {
+				continue
+			}
+			dup := false
+			for _, s := range p.supStates[i] {
+				if s == q {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				p.supStates[i] = append(p.supStates[i], q)
+				p.supDeltas[i] = append(p.supDeltas[i], d[q])
+			}
+		}
 	}
 	return p, nil
 }

@@ -64,6 +64,8 @@ type Protocol struct {
 	transitions []Transition
 	deltas      []multiset.Vec // displacement Δt per transition
 	byPair      [][]int        // unordered pair index → transition indices
+	supStates   [][]State      // support of Δt: the states whose count changes
+	supDeltas   [][]int64      // per-state change, aligned with supStates
 }
 
 // Name returns the protocol's human-readable name.
@@ -177,6 +179,16 @@ func (p *Protocol) Deterministic() bool {
 // caused by firing it (Section 5.1). The returned vector is owned by the
 // protocol and must not be modified.
 func (p *Protocol) Displacement(i int) multiset.Vec { return p.deltas[i] }
+
+// DeltaSupport returns the support of Δt for transition i: the states whose
+// count changes when it fires, with the matching per-state changes. Identity
+// transitions have empty support; non-identity ones touch at most 4 states.
+// Both slices are owned by the protocol and must not be modified. This is
+// the table the simulator's incremental bookkeeping runs on: applying a
+// transition touches only the returned states, never the whole vector.
+func (p *Protocol) DeltaSupport(i int) ([]State, []int64) {
+	return p.supStates[i], p.supDeltas[i]
+}
 
 // ParikhDisplacement returns Δπ = Σ_t π(t)·Δt for a multiset π of transition
 // indices.

@@ -292,6 +292,42 @@ func TestSilentAndSaturated(t *testing.T) {
 	}
 }
 
+func TestDeltaSupport(t *testing.T) {
+	b := NewBuilder("supports")
+	u := b.AddState("u", 0)
+	v := b.AddState("v", 1)
+	w := b.AddState("w", 0)
+	b.AddTransition(u, u, v, v) // delta: u −2, v +2
+	b.AddTransition(u, v, v, w) // delta: u −1, w +1 (v cancels)
+	b.AddInput("x", u)
+	p := b.CompleteWithIdentity().MustBuild()
+	for i := 0; i < p.NumTransitions(); i++ {
+		d := p.Displacement(i)
+		states, deltas := p.DeltaSupport(i)
+		if len(states) != len(deltas) {
+			t.Fatalf("transition %d: %d states vs %d deltas", i, len(states), len(deltas))
+		}
+		got := make(map[State]int64)
+		for k, q := range states {
+			if deltas[k] == 0 {
+				t.Fatalf("transition %d: zero delta in support at %d", i, q)
+			}
+			if _, dup := got[q]; dup {
+				t.Fatalf("transition %d: duplicate state %d in support", i, q)
+			}
+			got[q] = deltas[k]
+		}
+		for q, n := range d {
+			if got[State(q)] != n {
+				t.Fatalf("transition %d: support %v/%v disagrees with displacement %v", i, states, deltas, d)
+			}
+		}
+		if len(got) != d.SupportSize() {
+			t.Fatalf("transition %d: support size %d, want %d", i, len(got), d.SupportSize())
+		}
+	}
+}
+
 func TestParikhDisplacement(t *testing.T) {
 	p := buildMajority(t)
 	A, _ := p.StateByName("A")

@@ -8,6 +8,8 @@ package reach
 // hashes, so the dedup hot path never materializes a string key
 // (multiset.Vec.Key remains the serialization format, not the dedup format).
 
+import "repro/internal/wordhash"
+
 const (
 	// shardBits selects the index shard from the top hash bits; the low
 	// bits drive linear probing within a shard, so the two are independent.
@@ -15,22 +17,9 @@ const (
 	numShards = 1 << shardBits
 )
 
-// hashWords hashes the coordinates of a configuration: FNV-1a over the
-// int64 words, finalized with the Murmur3 avalanche so that low-entropy
-// inputs (small counts in few coordinates) still spread over all 64 bits.
-func hashWords(w []int64) uint64 {
-	h := uint64(14695981039346656037)
-	for _, x := range w {
-		h ^= uint64(x)
-		h *= 1099511628211
-	}
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
-}
+// hashWords hashes the coordinates of a configuration with the shared
+// raw-coordinate hasher (FNV-1a + Murmur3 avalanche; see wordhash).
+func hashWords(w []int64) uint64 { return wordhash.Sum(w) }
 
 func eqWords(a, b []int64) bool {
 	if len(a) != len(b) {

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/protocols"
+)
+
+// The pinned large-Q workload of BENCH_sim.json: the product construction
+// flock(10) ∧ mod(10,{1}) with Q = 11·12 = 132 ≥ 30 states and
+// nondeterministic transition rows — the protocol class (boolean
+// combinations of threshold and remainder protocols, as behind the
+// busy-beaver constructions) whose per-interaction O(Q) costs motivated the
+// Fenwick rewrite. The input sits above the flock threshold, so the
+// population drifts into high state indices where the reference core's
+// prefix scans are longest; CheckEvery is pushed past the budget so every
+// run executes exactly benchSteps interactions whatever the oracle would
+// say.
+const benchSteps = 200_000
+
+func benchWorkload(b *testing.B) (*protocol.Protocol, protocol.Config) {
+	b.Helper()
+	e := protocols.Product(protocols.FlockOfBirds(10), protocols.ModuloIn(10, 1), protocols.OpAnd)
+	p := e.Protocol
+	if p.NumStates() < 30 {
+		b.Fatalf("pinned workload has %d states, want ≥ 30", p.NumStates())
+	}
+	return p, p.InitialConfigN(300)
+}
+
+func benchOpts(seed uint64) Options {
+	return Options{Seed: seed, MaxSteps: benchSteps, CheckEvery: benchSteps + 1}
+}
+
+// BenchmarkSimStep measures the Fenwick core's single-thread interaction
+// throughput on the pinned workload.
+func BenchmarkSimStep(b *testing.B) {
+	p, c0 := benchWorkload(b)
+	r, err := NewRunner(p, c0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := r.Run(benchOpts(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Interactions != benchSteps {
+			b.Fatalf("ran %d interactions, want %d", st.Interactions, benchSteps)
+		}
+	}
+	b.ReportMetric(float64(benchSteps)*float64(b.N)/b.Elapsed().Seconds(), "interactions/sec")
+}
+
+// BenchmarkSimStepReference runs the retained linear-scan core on the same
+// workload — the "before" side of the comparison. The ratio of the two
+// interactions/sec numbers is the single-thread speedup BENCH_sim.json
+// pins.
+func BenchmarkSimStepReference(b *testing.B) {
+	p, c0 := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := referenceRun(p, c0, benchOpts(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Interactions != benchSteps {
+			b.Fatalf("ran %d interactions, want %d", st.Interactions, benchSteps)
+		}
+	}
+	b.ReportMetric(float64(benchSteps)*float64(b.N)/b.Elapsed().Seconds(), "interactions/sec")
+}
+
+// replicaBench is the E1/E2-style convergence cell shape: many short
+// replicas of one workload, where per-replica setup is a real fraction of
+// the work and scratch reuse across replicas is what the executor buys.
+const (
+	benchReplicas     = 64
+	benchReplicaSteps = 2_000
+)
+
+// BenchmarkRunReplicas measures the batch executor: one table build and one
+// scratch set per worker, reused across all replicas, aggregate streamed.
+func BenchmarkRunReplicas(b *testing.B) {
+	p, c0 := benchWorkload(b)
+	opts := Options{Seed: 1, MaxSteps: benchReplicaSteps, CheckEvery: benchReplicaSteps + 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := RunReplicas(p, c0, benchReplicas, opts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if est.TotalInteractions != benchReplicas*benchReplicaSteps {
+			b.Fatalf("ran %d interactions, want %d", est.TotalInteractions, benchReplicas*benchReplicaSteps)
+		}
+	}
+	b.ReportMetric(float64(benchReplicas), "replicas/op")
+}
+
+// BenchmarkRunReplicasRebuild is the no-reuse baseline: the same replicas
+// through the public Run entry point, which rebuilds tables and scratch per
+// replica — what sweep convergence cells paid before the executor.
+func BenchmarkRunReplicasRebuild(b *testing.B) {
+	p, c0 := benchWorkload(b)
+	opts := Options{Seed: 1, MaxSteps: benchReplicaSteps, CheckEvery: benchReplicaSteps + 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total int64
+		for r := 0; r < benchReplicas; r++ {
+			o := opts
+			o.Seed = ReplicaSeed(opts.Seed, r)
+			st, err := Run(p, c0, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += st.Interactions
+		}
+		if total != benchReplicas*benchReplicaSteps {
+			b.Fatalf("ran %d interactions, want %d", total, benchReplicas*benchReplicaSteps)
+		}
+	}
+	b.ReportMetric(float64(benchReplicas), "replicas/op")
+}

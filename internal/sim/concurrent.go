@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/protocol"
 )
@@ -11,37 +9,22 @@ import (
 // RunConcurrent executes `runs` independent simulations with derived seeds
 // across a worker pool and returns their statistics in seed order (so the
 // output is deterministic for a fixed base seed regardless of scheduling).
-// workers ≤ 0 selects GOMAXPROCS.
+// Replica i runs with seed ReplicaSeed(opts.Seed, i) — the same streams
+// RunReplicas uses — and each worker reuses one scratch set (tables are
+// built once for the whole batch; see runBatch). Unlike RunReplicas, the
+// full Stats of every run are retained; use it when the per-run traces,
+// firing lists or final configurations matter, and RunReplicas when only
+// the aggregate does. workers ≤ 0 selects GOMAXPROCS.
 func RunConcurrent(p *protocol.Protocol, c0 protocol.Config, runs int, opts Options, workers int) ([]Stats, error) {
-	if runs < 1 {
-		return nil, fmt.Errorf("sim: runs must be ≥ 1, got %d", runs)
+	// Clamped so a negative runs reaches runBatch's validation, not make.
+	results := make([]Stats, max(runs, 0))
+	errs := make([]error, max(runs, 0))
+	err := runBatch(p, c0, runs, opts, workers, func(i int, st Stats, err error) {
+		results[i], errs[i] = st, err
+	})
+	if err != nil {
+		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > runs {
-		workers = runs
-	}
-	results := make([]Stats, runs)
-	errs := make([]error, runs)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				o := opts
-				o.Seed = opts.Seed + uint64(i)*0x9e3779b9
-				results[i], errs[i] = Run(p, c0, o)
-			}
-		}()
-	}
-	for i := 0; i < runs; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("run %d: %w", i, err)

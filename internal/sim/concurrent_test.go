@@ -1,10 +1,30 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/protocols"
 )
+
+// TestBatchExecutorsInterruptAbort: a closed Interrupt channel must surface
+// ErrInterrupted from the batch executors without executing the whole
+// batch (the abort flag stops dispatch after the first failed replica, so
+// even an absurd replica count returns promptly).
+func TestBatchExecutorsInterruptAbort(t *testing.T) {
+	e := protocols.Parity()
+	p := e.Protocol
+	c0 := p.InitialConfigN(64)
+	stop := make(chan struct{})
+	close(stop)
+	opts := Options{Seed: 1, MaxSteps: 1 << 40, Interrupt: stop}
+	if _, err := RunReplicas(p, c0, 100_000, opts, 2); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("RunReplicas: want ErrInterrupted, got %v", err)
+	}
+	if _, err := RunConcurrent(p, c0, 100_000, opts, 2); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("RunConcurrent: want ErrInterrupted, got %v", err)
+	}
+}
 
 func TestRunConcurrentMatchesSequential(t *testing.T) {
 	e := protocols.Succinct(2)
@@ -23,7 +43,7 @@ func TestRunConcurrentMatchesSequential(t *testing.T) {
 	// sequential runs (determinism survives the worker pool).
 	for i, st := range conc {
 		o := opts
-		o.Seed = opts.Seed + uint64(i)*0x9e3779b9
+		o.Seed = ReplicaSeed(opts.Seed, i)
 		want, err := Run(p, c0, o)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/protocol"
+)
+
+// tables holds the flat, read-only transition tables the hot loop runs on,
+// precomputed once per protocol and shared across replicas and workers:
+//
+//   - a CSR row of transition indices per unordered state pair (the dense
+//     counterpart of Protocol.TransitionsForPair, in the same order — the
+//     order matters for RNG-identical tie-breaking among nondeterministic
+//     transitions);
+//   - a CSR delta-support list per transition (the ≤4 states a firing
+//     touches, from Protocol.DeltaSupport) — identity transitions have an
+//     empty row, which is also the loop's "was this interaction effective?"
+//     test;
+//   - the dense per-state output bit feeding the incremental consensus
+//     counters.
+type tables struct {
+	dim      int
+	pairOff  []int32
+	pairTr   []int32
+	supOff   []int32
+	supState []int32
+	supDelta []int64
+	outputs  []uint8
+}
+
+// buildTables flattens the protocol's pair index and delta supports.
+func buildTables(p *protocol.Protocol) *tables {
+	n := p.NumStates()
+	t := &tables{dim: n, outputs: make([]uint8, n)}
+	for q := 0; q < n; q++ {
+		t.outputs[q] = uint8(p.Output(protocol.State(q)))
+	}
+	numPairs := n * (n + 1) / 2
+	t.pairOff = make([]int32, numPairs+1)
+	// pairIndex(a,b) = b(b+1)/2 + a for a ≤ b, so iterating b outer and
+	// a ≤ b inner visits pair indices consecutively.
+	for b := 0; b < n; b++ {
+		for a := 0; a <= b; a++ {
+			row := p.TransitionsForPair(protocol.State(a), protocol.State(b))
+			for _, ti := range row {
+				t.pairTr = append(t.pairTr, int32(ti))
+			}
+			idx := b*(b+1)/2 + a
+			t.pairOff[idx+1] = int32(len(t.pairTr))
+		}
+	}
+	nt := p.NumTransitions()
+	t.supOff = make([]int32, nt+1)
+	for i := 0; i < nt; i++ {
+		states, deltas := p.DeltaSupport(i)
+		for k, q := range states {
+			t.supState = append(t.supState, int32(q))
+			t.supDelta = append(t.supDelta, deltas[k])
+		}
+		t.supOff[i+1] = int32(len(t.supState))
+	}
+	return t
+}
+
+// Runner executes simulations of one (protocol, initial configuration) pair
+// while reusing all per-replica scratch — the transition tables, the Fenwick
+// sampling tree, and the working configuration buffer — across calls. Run
+// and the batch executors are built on it; callers simulating many replicas
+// of one workload should reuse a Runner (or use RunReplicas / RunConcurrent,
+// which do) instead of paying the table build per replica.
+//
+// A Runner is not safe for concurrent use; the batch executors give each
+// worker its own Runner over shared read-only tables (NewRunnerShared).
+type Runner struct {
+	p  *protocol.Protocol
+	t  *tables
+	c0 protocol.Config
+	n  int64
+
+	fen *fenwick
+	cfg protocol.Config
+}
+
+// NewRunner validates the pair and precomputes the flat tables.
+func NewRunner(p *protocol.Protocol, c0 protocol.Config) (*Runner, error) {
+	if err := validateRun(p, c0); err != nil {
+		return nil, err
+	}
+	return newRunnerShared(p, c0, buildTables(p)), nil
+}
+
+// newRunnerShared wires a fresh per-worker scratch set over already-built
+// (and already-validated) tables.
+func newRunnerShared(p *protocol.Protocol, c0 protocol.Config, t *tables) *Runner {
+	return &Runner{
+		p:   p,
+		t:   t,
+		c0:  c0,
+		n:   c0.Size(),
+		fen: newFenwick(t.dim),
+		cfg: make(protocol.Config, t.dim),
+	}
+}
+
+// validateRun checks the Run preconditions (shared by every entry point).
+func validateRun(p *protocol.Protocol, c0 protocol.Config) error {
+	if c0.Dim() != p.NumStates() {
+		return fmt.Errorf("sim: configuration dimension %d, want %d", c0.Dim(), p.NumStates())
+	}
+	if !c0.IsNatural() {
+		return fmt.Errorf("sim: configuration has negative counts: %v", c0)
+	}
+	if c0.Size() < 2 {
+		return fmt.Errorf("%w: got %d", ErrPopulationTooSmall, c0.Size())
+	}
+	return nil
+}
+
+// Run executes one replica. It is deterministic in opts.Seed and
+// bit-identical to the retained reference core: equal seeds and options
+// produce equal Stats — the same Interactions, Firings, Trace, consensus
+// bookkeeping and Final configuration — because the Fenwick sampler consumes
+// the same RNG draws and returns the same states as the reference prefix
+// scan (see fenwick.find), and ties among nondeterministic transitions are
+// broken through the same rng.IntN call over the same transition order.
+func (r *Runner) Run(opts Options) (Stats, error) {
+	n := r.n
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1_000_000 * n
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = n
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = Silence{P: r.p}
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+
+	t := r.t
+	c := r.cfg
+	copy(c, r.c0)
+	r.fen.reset(c)
+
+	// Incremental consensus bookkeeping: pop[b] counts the populated states
+	// with output b. OutputOf(c) is then a two-comparison read, and firing a
+	// transition updates pop only at the ≤4 states its displacement touches
+	// — the reference core's per-interaction O(Q) scan disappears.
+	var pop [2]int
+	for q, cnt := range c {
+		if cnt > 0 {
+			pop[t.outputs[q]]++
+		}
+	}
+	outputOf := func() (int, bool) {
+		switch {
+		case pop[0] > 0 && pop[1] == 0:
+			return 0, true
+		case pop[1] > 0 && pop[0] == 0:
+			return 1, true
+		default:
+			return 0, false
+		}
+	}
+
+	st := Stats{}
+	// Track when the current consensus run started, for ConsensusAt.
+	var consensusStart int64 = -1
+	curOutput := -1
+	if b, ok := outputOf(); ok {
+		curOutput, consensusStart = b, 0
+	}
+
+	record := func() {
+		b, ok := outputOf()
+		if !ok {
+			b = -1
+		}
+		st.Trace = append(st.Trace, TracePoint{
+			Interactions: st.Interactions,
+			Config:       c.Clone(),
+			Output:       b,
+			Defined:      ok,
+		})
+	}
+	if opts.TraceEvery > 0 {
+		record()
+	}
+
+	// Check initial stability (e.g. constant protocols are stable at IC).
+	if b, ok := oracle.Classify(c); ok {
+		st.Converged, st.Output = true, b
+		st.ConsensusAt = 0
+		st.Final = c.Clone()
+		if opts.TraceEvery > 0 {
+			// Mirror the loop's exit path: the final configuration is
+			// recorded even when the run ends before its first interaction.
+			record()
+		}
+		return st, nil
+	}
+
+	for st.Interactions < maxSteps {
+		// Sample an ordered pair of distinct agents: the second draw
+		// excludes one agent of the first state — the same weights the
+		// reference scan uses (see samplePair / findExcluding).
+		q1, q2 := r.fen.samplePair(rng.Int64N(n), rng.Int64N(n-1))
+
+		lo, hi := q1, q2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pi := hi*(hi+1)/2 + lo
+		off, end := t.pairOff[pi], t.pairOff[pi+1]
+		ti := t.pairTr[off]
+		if end-off > 1 {
+			ti = t.pairTr[off+int32(rng.IntN(int(end-off)))]
+		}
+		if so, se := t.supOff[ti], t.supOff[ti+1]; se > so {
+			// Effective interaction: apply the displacement at its support,
+			// maintaining the counts, the sampling tree, and pop together.
+			for k := so; k < se; k++ {
+				q := t.supState[k]
+				d := t.supDelta[k]
+				old := c[q]
+				c[q] = old + d
+				r.fen.add(int(q), d)
+				if old == 0 {
+					pop[t.outputs[q]]++
+				} else if old+d == 0 {
+					pop[t.outputs[q]]--
+				}
+			}
+			if opts.RecordFirings {
+				st.Firings = append(st.Firings, int(ti))
+			}
+			// Maintain consensus bookkeeping only on real changes.
+			b, ok := outputOf()
+			switch {
+			case !ok:
+				curOutput, consensusStart = -1, -1
+			case b != curOutput:
+				curOutput, consensusStart = b, st.Interactions+1
+			}
+		}
+		st.Interactions++
+		if opts.TraceEvery > 0 && st.Interactions%opts.TraceEvery == 0 {
+			record()
+		}
+		// The interrupt poll runs on its own ~1k-interaction cadence,
+		// decoupled from the oracle cadence: cancellation stays prompt when
+		// CheckEvery is large, and tiny populations (CheckEvery = n) don't
+		// pay for a select every few interactions.
+		if st.Interactions&1023 == 0 && opts.Interrupt != nil {
+			select {
+			case <-opts.Interrupt:
+				return st, ErrInterrupted
+			default:
+			}
+		}
+		if st.Interactions%checkEvery == 0 {
+			if b, ok := oracle.Classify(c); ok {
+				st.Converged, st.Output = true, b
+				st.ConsensusAt = consensusStart
+				break
+			}
+		}
+	}
+	st.ParallelTime = float64(st.Interactions) / float64(n)
+	st.Final = c.Clone()
+	if opts.TraceEvery > 0 {
+		record()
+	}
+	return st, nil
+}

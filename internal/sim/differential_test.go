@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/protocols"
+)
+
+// statsEqual asserts exact equality of every Stats field — interactions,
+// convergence verdict, consensus bookkeeping, final configuration, every
+// trace point, and the firing list. This is the determinism contract of the
+// Fenwick core: same seed ⇒ bit-identical outcome to the reference scan.
+func statsEqual(t *testing.T, label string, got, want Stats) {
+	t.Helper()
+	if got.Interactions != want.Interactions {
+		t.Fatalf("%s: interactions %d, want %d", label, got.Interactions, want.Interactions)
+	}
+	if got.ParallelTime != want.ParallelTime {
+		t.Fatalf("%s: parallel time %v, want %v", label, got.ParallelTime, want.ParallelTime)
+	}
+	if got.Converged != want.Converged || got.Output != want.Output || got.ConsensusAt != want.ConsensusAt {
+		t.Fatalf("%s: verdict (%t,%d,%d), want (%t,%d,%d)", label,
+			got.Converged, got.Output, got.ConsensusAt,
+			want.Converged, want.Output, want.ConsensusAt)
+	}
+	if !got.Final.Equal(want.Final) {
+		t.Fatalf("%s: final %v, want %v", label, got.Final, want.Final)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: %d trace points, want %d", label, len(got.Trace), len(want.Trace))
+	}
+	for i := range want.Trace {
+		g, w := got.Trace[i], want.Trace[i]
+		if g.Interactions != w.Interactions || g.Output != w.Output || g.Defined != w.Defined || !g.Config.Equal(w.Config) {
+			t.Fatalf("%s: trace[%d] = %+v, want %+v", label, i, g, w)
+		}
+	}
+	if len(got.Firings) != len(want.Firings) {
+		t.Fatalf("%s: %d firings, want %d", label, len(got.Firings), len(want.Firings))
+	}
+	for i := range want.Firings {
+		if got.Firings[i] != want.Firings[i] {
+			t.Fatalf("%s: firing[%d] = %d, want %d", label, i, got.Firings[i], want.Firings[i])
+		}
+	}
+}
+
+// randomSimProtocol builds a random single-input protocol: 2–6 states with
+// random outputs, a random set of (possibly nondeterministic) transitions,
+// completed with identity interactions.
+func randomSimProtocol(rng *rand.Rand) *protocol.Protocol {
+	k := 2 + rng.IntN(5)
+	b := protocol.NewBuilder(fmt.Sprintf("random-%d", k))
+	states := make([]protocol.State, k)
+	for i := range states {
+		states[i] = b.AddState(fmt.Sprintf("q%d", i), rng.IntN(2))
+	}
+	m := 1 + rng.IntN(3*k)
+	for i := 0; i < m; i++ {
+		b.AddTransition(
+			states[rng.IntN(k)], states[rng.IntN(k)],
+			states[rng.IntN(k)], states[rng.IntN(k)],
+		)
+	}
+	b.AddInput("x", states[rng.IntN(k)])
+	return b.CompleteWithIdentity().MustBuild()
+}
+
+// TestDifferentialFenwickVsReference is the central differential test of
+// the simulation core: on randomized protocols, seeds, and option
+// combinations (tracing, firing recording, check cadences), the Fenwick
+// core must produce exactly the Stats of the retained linear-scan core.
+func TestDifferentialFenwickVsReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(20260729, 1))
+	for trial := 0; trial < 120; trial++ {
+		p := randomSimProtocol(rng)
+		n := 2 + rng.Int64N(40)
+		c0 := p.InitialConfigN(n)
+		opts := Options{
+			Seed:     rng.Uint64(),
+			MaxSteps: 1 + rng.Int64N(4000),
+		}
+		if rng.IntN(2) == 0 {
+			opts.TraceEvery = 1 + rng.Int64N(50)
+		}
+		if rng.IntN(2) == 0 {
+			opts.RecordFirings = true
+		}
+		if rng.IntN(2) == 0 {
+			opts.CheckEvery = 1 + rng.Int64N(100)
+		}
+		want, errW := referenceRun(p, c0, opts)
+		got, errG := Run(p, c0, opts)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: error mismatch: ref %v, fenwick %v", trial, errW, errG)
+		}
+		if errW != nil {
+			continue
+		}
+		statsEqual(t, fmt.Sprintf("trial %d (%s, n=%d)", trial, p.Name(), n), got, want)
+	}
+}
+
+// TestDifferentialLargeQProduct pins the equivalence on the workload class
+// the rewrite targets: a large-Q product construction (Q = 42 ≥ 30) with
+// nondeterministic transition rows, run long enough to exercise the
+// consensus bookkeeping through many flips.
+func TestDifferentialLargeQProduct(t *testing.T) {
+	e := protocols.Product(protocols.FlockOfBirds(5), protocols.ModuloIn(5, 1), protocols.OpAnd)
+	p := e.Protocol
+	if p.NumStates() < 30 {
+		t.Fatalf("workload has %d states, want ≥ 30", p.NumStates())
+	}
+	for _, seed := range []uint64{1, 7, 424242} {
+		c0 := p.InitialConfigN(60)
+		opts := Options{Seed: seed, MaxSteps: 50_000, TraceEvery: 5000, RecordFirings: true}
+		want, err := referenceRun(p, c0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(p, c0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsEqual(t, fmt.Sprintf("product seed %d", seed), got, want)
+	}
+}
+
+// TestRunnerScratchReuseIsClean verifies that reusing one Runner across
+// replicas cannot leak state between them: interleaved replays through a
+// shared Runner reproduce fresh runs exactly.
+func TestRunnerScratchReuseIsClean(t *testing.T) {
+	e := protocols.FlockOfBirds(4)
+	p := e.Protocol
+	c0 := p.InitialConfigN(12)
+	r, err := NewRunner(p, c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []uint64{3, 99, 3, 12345, 99, 3}
+	for i, seed := range seeds {
+		opts := Options{Seed: seed, TraceEvery: 7, RecordFirings: true}
+		got, err := r.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceRun(p, c0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsEqual(t, fmt.Sprintf("reuse %d (seed %d)", i, seed), got, want)
+	}
+}
+
+// TestFenwickSamplingChiSquare sanity-checks that the Fenwick sampler's
+// frequencies match the counts-proportional distribution: a chi-square
+// statistic over a skewed count vector must stay below the 99.9% quantile.
+func TestFenwickSamplingChiSquare(t *testing.T) {
+	counts := []int64{7, 1, 0, 12, 3, 0, 25, 2}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	f := newFenwick(len(counts))
+	f.reset(counts)
+	rng := rand.New(rand.NewPCG(99, 0))
+	const draws = 200_000
+	obs := make([]int64, len(counts))
+	for i := 0; i < draws; i++ {
+		obs[f.find(rng.Int64N(total))]++
+	}
+	var chi2 float64
+	cells := 0
+	for q, c := range counts {
+		if c == 0 {
+			if obs[q] != 0 {
+				t.Fatalf("sampled empty state %d (%d times)", q, obs[q])
+			}
+			continue
+		}
+		cells++
+		exp := float64(draws) * float64(c) / float64(total)
+		d := float64(obs[q]) - exp
+		chi2 += d * d / exp
+	}
+	// 99.9% chi-square quantile at df = cells-1 = 5 is 20.5.
+	if chi2 > 20.5 {
+		t.Fatalf("chi-square %.2f exceeds the 99.9%% quantile 20.5 (obs %v)", chi2, obs)
+	}
+}
+
+// TestFenwickExclusion checks the without-replacement draw: with counts
+// (1,1) and one agent of state 0 removed, the sampler must always pick 1 —
+// and in general must agree with the reference exclusion scan.
+func TestFenwickExclusion(t *testing.T) {
+	counts := []int64{1, 1, 0, 0}
+	f := newFenwick(len(counts))
+	f.reset(counts)
+	for i := 0; i < 100; i++ {
+		if got := f.findExcluding(0, 0); got != 1 {
+			t.Fatalf("exclusion violated: picked %d", got)
+		}
+	}
+	// Cross-check exclusion against the reference sampler draw by draw.
+	c := protocol.Config{5, 2, 0, 9}
+	f2 := newFenwick(len(c))
+	f2.reset(c)
+	rngA := rand.New(rand.NewPCG(5, 0))
+	rngB := rand.New(rand.NewPCG(5, 0))
+	for i := 0; i < 2000; i++ {
+		exclude := i % len(c)
+		if c[exclude] == 0 {
+			exclude = 0
+		}
+		want := referenceSampleState(rngA, c, c.Size()-1, exclude)
+		got := f2.findExcluding(rngB.Int64N(c.Size()-1), exclude)
+		if got != want {
+			t.Fatalf("draw %d (exclude %d): fenwick %d, reference %d", i, exclude, got, want)
+		}
+	}
+	// The fused pair sampler must agree with the serial find +
+	// findExcluding composition draw for draw.
+	rng := rand.New(rand.NewPCG(17, 0))
+	for i := 0; i < 2000; i++ {
+		r1 := rng.Int64N(c.Size())
+		r2 := rng.Int64N(c.Size() - 1)
+		w1 := f2.find(r1)
+		w2 := f2.findExcluding(r2, w1)
+		g1, g2 := f2.samplePair(r1, r2)
+		if g1 != w1 || g2 != w2 {
+			t.Fatalf("draw %d: samplePair = (%d,%d), want (%d,%d)", i, g1, g2, w1, w2)
+		}
+	}
+}
+
+// TestTraceEarlyStable pins the early-stable trace fix: when the oracle
+// classifies the initial configuration, the trace must still end with the
+// final configuration, exactly like the loop's exit path.
+func TestTraceEarlyStable(t *testing.T) {
+	e := protocols.Constant(true)
+	p := e.Protocol
+	st, err := Run(p, p.InitialConfigN(5), Options{Seed: 3, TraceEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Interactions != 0 {
+		t.Fatalf("constant protocol should be stable immediately: %+v", st)
+	}
+	if len(st.Trace) != 2 {
+		t.Fatalf("early-stable run recorded %d trace points, want 2 (initial + final)", len(st.Trace))
+	}
+	for i, tp := range st.Trace {
+		if tp.Interactions != 0 || !tp.Config.Equal(st.Final) {
+			t.Fatalf("trace[%d] = %+v, want the initial=final configuration at 0 interactions", i, tp)
+		}
+	}
+}
+
+// TestReplicaSeedMixing checks the SplitMix64 derivation: replica streams
+// of nearby base seeds must not collide (the old additive derivation made
+// base b and b+2654435769 share almost all replica seeds).
+func TestReplicaSeedMixing(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, base := range []uint64{0, 1, 2, 0x9e3779b9, 2 * 0x9e3779b9, 1 << 40} {
+		for i := 0; i < 64; i++ {
+			s := ReplicaSeed(base, i)
+			key := fmt.Sprintf("base=%d i=%d", base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+// TestRunReplicasMatchesSequential pins the executor's determinism: the
+// aggregate over a worker pool equals the single-worker aggregate, which
+// equals folding individual Run calls with ReplicaSeed-derived seeds.
+func TestRunReplicasMatchesSequential(t *testing.T) {
+	e := protocols.FlockOfBirds(4)
+	p := e.Protocol
+	c0 := p.InitialConfigN(16)
+	opts := Options{Seed: 11}
+	single, err := RunReplicas(p, c0, 10, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunReplicas(p, c0, 10, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single != pooled {
+		t.Fatalf("worker count changed the aggregate:\n 1 worker: %+v\n 4 workers: %+v", single, pooled)
+	}
+	var wantTotal int64
+	for i := 0; i < 10; i++ {
+		o := opts
+		o.Seed = ReplicaSeed(opts.Seed, i)
+		st, err := Run(p, c0, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("replica %d did not converge", i)
+		}
+		wantTotal += st.Interactions
+	}
+	if single.Converged != 10 || single.TotalInteractions != wantTotal {
+		t.Fatalf("aggregate %+v, want 10 converged and %d total interactions", single, wantTotal)
+	}
+	if single.MeanInteractions*10 != float64(wantTotal) {
+		t.Fatalf("mean interactions %v inconsistent with total %d", single.MeanInteractions, wantTotal)
+	}
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/protocol"
 )
@@ -17,6 +16,13 @@ type Estimate struct {
 	MedianParallel float64
 	P95Parallel    float64
 	MaxParallel    float64
+	// TotalInteractions is the number of interactions executed across all
+	// runs (converged or not) — with the wall-clock time of the batch it
+	// yields the executor's interactions/sec throughput.
+	TotalInteractions int64
+	// MeanInteractions is the mean convergence interaction count over the
+	// converged runs (0 if none converged).
+	MeanInteractions float64
 }
 
 // String renders the estimate compactly.
@@ -27,44 +33,11 @@ func (e Estimate) String() string {
 
 // EstimateParallelTime runs the simulation `runs` times with distinct seeds
 // derived from opts.Seed and aggregates convergence statistics. It is the
-// workhorse of the parallel-time experiment (E10).
+// workhorse of the parallel-time experiment (E10), and is now a single-
+// worker RunReplicas: one scratch set serves all runs, and replica i uses
+// seed ReplicaSeed(opts.Seed, i).
 func EstimateParallelTime(p *protocol.Protocol, c0 protocol.Config, runs int, opts Options) (Estimate, error) {
-	est := Estimate{Runs: runs, Output: -1}
-	var times []float64
-	for i := 0; i < runs; i++ {
-		o := opts
-		o.Seed = opts.Seed + uint64(i)*0x9e3779b9
-		st, err := Run(p, c0, o)
-		if err != nil {
-			return est, fmt.Errorf("run %d: %w", i, err)
-		}
-		if !st.Converged {
-			continue
-		}
-		est.Converged++
-		times = append(times, st.ParallelTime)
-		switch est.Output {
-		case -1:
-			est.Output = st.Output
-		case st.Output:
-		default:
-			est.Output = -1
-			return est, fmt.Errorf("sim: runs disagree on stable output")
-		}
-	}
-	if len(times) == 0 {
-		return est, nil
-	}
-	sort.Float64s(times)
-	var sum float64
-	for _, t := range times {
-		sum += t
-	}
-	est.MeanParallel = sum / float64(len(times))
-	est.MedianParallel = quantile(times, 0.5)
-	est.P95Parallel = quantile(times, 0.95)
-	est.MaxParallel = times[len(times)-1]
-	return est, nil
+	return RunReplicas(p, c0, runs, opts, 1)
 }
 
 func quantile(sorted []float64, q float64) float64 {

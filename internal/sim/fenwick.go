@@ -1,0 +1,130 @@
+package sim
+
+// fenwick is a binary-indexed tree over the per-state agent counts of the
+// working configuration. It is the simulator's sampling structure: drawing a
+// state proportionally to its count is a single O(log Q) descent instead of
+// the O(Q) prefix scan of the reference core, and firing a transition
+// updates only the ≤4 touched states.
+//
+// The tree is 1-indexed internally (tree[0] is unused); state q lives at
+// tree position q+1. All operations preserve the exact prefix-sum semantics
+// of a linear scan over the counts, which is what makes the fast sampler
+// bit-identical to the reference one (see find).
+type fenwick struct {
+	// tree is padded past the descent's reach (tree[0] unused, states live
+	// at 1..dim, the padding stays zero-weighted): find starts at the
+	// largest power of two ≤ dim and may step onto padded positions, so
+	// with 2·start+1 slots no per-level bounds test is needed.
+	tree  []int64
+	dim   int
+	start int
+}
+
+// newFenwick returns a tree over n states, all counts zero.
+func newFenwick(n int) *fenwick {
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	return &fenwick{tree: make([]int64, 2*p2+1), dim: n, start: p2}
+}
+
+// reset rebuilds the tree from a dense count vector in O(Q) (no per-element
+// add cascade), so reusing a tree across replicas costs one linear pass.
+func (f *fenwick) reset(counts []int64) {
+	tree := f.tree
+	for i := range tree {
+		tree[i] = 0
+	}
+	for i, c := range counts {
+		tree[i+1] = c
+	}
+	for i := 1; i < len(tree); i++ {
+		if j := i + (i & -i); j < len(tree) {
+			tree[j] += tree[i]
+		}
+	}
+}
+
+// add adds d to the count of state q.
+func (f *fenwick) add(q int, d int64) {
+	for j := q + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += d
+	}
+}
+
+// find returns the state selected by residue r: the smallest q with
+// count(0) + … + count(q) > r. This is exactly the state a linear prefix
+// scan ("for q: if r < count(q) return q; r -= count(q)") returns, so a
+// find-based sampler consumes the same RNG draw and yields the same state
+// as the scan-based one. The caller must ensure 0 ≤ r < total count.
+func (f *fenwick) find(r int64) int {
+	pos := 0
+	tree := f.tree
+	for pw := f.start; pw > 0; pw >>= 1 {
+		if v := tree[pos+pw]; v <= r {
+			pos += pw
+			r -= v
+		}
+	}
+	if pos >= f.dim {
+		// Unreachable if r < total; guard mirrors the reference sampler.
+		panic("sim: sampling overran configuration weights")
+	}
+	return pos
+}
+
+// samplePair returns the ordered pair (q1, q2) drawn by residues r1 (over
+// the full weights) and r2 (over the weights with one agent of q1
+// removed). It is find(r1) followed by findExcluding(r2, q1), fused: the
+// three binary descents involved (r1, r2, and the speculative r2+1 the
+// exclusion may need) are mutually independent chains of L1 loads, so
+// interleaving them level by level hides most of the latency that running
+// them back to back would serialize. The caller must ensure 0 ≤ r1 < total
+// and 0 ≤ r2 < total-1.
+func (f *fenwick) samplePair(r1, r2 int64) (int, int) {
+	pos1, pos2, pos3 := 0, 0, 0
+	s1, s2, s3 := r1, r2, r2+1
+	tree := f.tree
+	for pw := f.start; pw > 0; pw >>= 1 {
+		if v := tree[pos1+pw]; v <= s1 {
+			pos1 += pw
+			s1 -= v
+		}
+		if v := tree[pos2+pw]; v <= s2 {
+			pos2 += pw
+			s2 -= v
+		}
+		if v := tree[pos3+pw]; v <= s3 {
+			pos3 += pw
+			s3 -= v
+		}
+	}
+	// The exclusion case split of findExcluding, on precomputed descents.
+	q2 := pos2
+	if pos2 >= pos1 {
+		q2 = pos3
+	}
+	if pos1 >= f.dim || q2 >= f.dim {
+		panic("sim: sampling overran configuration weights")
+	}
+	return pos1, q2
+}
+
+// findExcluding returns the state selected by residue r when one agent of
+// state `exclude` is removed from the weights — the without-replacement
+// draw of the second member of an ordered pair. It is equivalent to
+// (and cheaper than) decrementing the tree at exclude, calling find, and
+// restoring: with P the unmodified prefix sums, the excluded-weight answer
+// is the smallest q with P(q+1) > r for q < exclude and P(q+1) > r+1 for
+// q ≥ exclude; so a first probe with r settles every q < exclude, and when
+// it lands at or past exclude (where every prefix through exclude is ≤ r),
+// a second probe with r+1 gives the answer, which then necessarily lies at
+// or past exclude as well. The caller must ensure 0 ≤ r < total-1.
+func (f *fenwick) findExcluding(r int64, exclude int) int {
+	q := f.find(r)
+	if q < exclude {
+		return q
+	}
+	return f.find(r + 1)
+}

@@ -1,0 +1,144 @@
+package sim
+
+// This file retains the pre-Fenwick simulation core — O(Q) linear prefix
+// scans for both pair samples and a full OutputOf scan per effective
+// interaction — as a differential-testing reference and as the "before"
+// side of the BenchmarkSimStep* comparison, mirroring the retained naive
+// explorer in reach/naive_test.go. The only deliberate divergence from the
+// historical code is the early-stable trace fix (the final TracePoint is
+// recorded when the oracle classifies the initial configuration), which the
+// production core received in the same change; everything else, including
+// the exact RNG call sequence, is kept verbatim so that exact Stats
+// equality against the new core is meaningful.
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/protocol"
+)
+
+// referenceRun simulates with the retained linear-scan core.
+func referenceRun(p *protocol.Protocol, c0 protocol.Config, opts Options) (Stats, error) {
+	n := c0.Size()
+	if n < 2 {
+		return Stats{}, fmt.Errorf("%w: got %d", ErrPopulationTooSmall, n)
+	}
+	if c0.Dim() != p.NumStates() {
+		return Stats{}, fmt.Errorf("sim: configuration dimension %d, want %d", c0.Dim(), p.NumStates())
+	}
+	if !c0.IsNatural() {
+		return Stats{}, fmt.Errorf("sim: configuration has negative counts: %v", c0)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1_000_000 * n
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = n
+	}
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = Silence{P: p}
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+
+	c := c0.Clone()
+	st := Stats{}
+	var consensusStart int64 = -1
+	curOutput := -1
+	if b, ok := p.OutputOf(c); ok {
+		curOutput, consensusStart = b, 0
+	}
+
+	record := func() {
+		b, ok := p.OutputOf(c)
+		if !ok {
+			b = -1
+		}
+		st.Trace = append(st.Trace, TracePoint{
+			Interactions: st.Interactions,
+			Config:       c.Clone(),
+			Output:       b,
+			Defined:      ok,
+		})
+	}
+	if opts.TraceEvery > 0 {
+		record()
+	}
+
+	if b, ok := oracle.Classify(c); ok {
+		st.Converged, st.Output = true, b
+		st.ConsensusAt = 0
+		st.Final = c
+		if opts.TraceEvery > 0 {
+			record()
+		}
+		return st, nil
+	}
+
+	for st.Interactions < maxSteps {
+		q1 := referenceSampleState(rng, c, n, -1)
+		q2 := referenceSampleState(rng, c, n-1, q1)
+		ts := p.TransitionsForPair(protocol.State(q1), protocol.State(q2))
+		t := ts[0]
+		if len(ts) > 1 {
+			t = ts[rng.IntN(len(ts))]
+		}
+		if d := p.Displacement(t); !d.IsZero() {
+			c.AddInPlace(d)
+			if opts.RecordFirings {
+				st.Firings = append(st.Firings, t)
+			}
+			b, ok := p.OutputOf(c)
+			switch {
+			case !ok:
+				curOutput, consensusStart = -1, -1
+			case b != curOutput:
+				curOutput, consensusStart = b, st.Interactions+1
+			}
+		}
+		st.Interactions++
+		if opts.TraceEvery > 0 && st.Interactions%opts.TraceEvery == 0 {
+			record()
+		}
+		if st.Interactions&1023 == 0 && opts.Interrupt != nil {
+			select {
+			case <-opts.Interrupt:
+				return st, ErrInterrupted
+			default:
+			}
+		}
+		if st.Interactions%checkEvery == 0 {
+			if b, ok := oracle.Classify(c); ok {
+				st.Converged, st.Output = true, b
+				st.ConsensusAt = consensusStart
+				break
+			}
+		}
+	}
+	st.ParallelTime = float64(st.Interactions) / float64(n)
+	st.Final = c
+	if opts.TraceEvery > 0 {
+		record()
+	}
+	return st, nil
+}
+
+// referenceSampleState draws a state proportionally to its count in c with a
+// linear prefix scan, with total weight total; exclude (≥ 0) removes one
+// agent of that state from the weights.
+func referenceSampleState(rng *rand.Rand, c protocol.Config, total int64, exclude int) int {
+	r := rng.Int64N(total)
+	for q, cnt := range c {
+		if q == exclude {
+			cnt--
+		}
+		if r < cnt {
+			return q
+		}
+		r -= cnt
+	}
+	panic("sim: sampling overran configuration weights")
+}

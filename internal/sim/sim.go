@@ -9,12 +9,19 @@
 // provides Silence (a configuration where no transition can change anything
 // is stable with its consensus output) and callers can supply exact oracles
 // such as the stable package's symbolic stable-set membership.
+//
+// The interaction loop is built for throughput on large state spaces: pair
+// sampling runs on a Fenwick tree over the state counts (O(log Q) per draw,
+// bit-identical to a linear prefix scan for equal seeds), output consensus
+// is tracked incrementally from each transition's delta support, and flat
+// per-pair transition tables are precomputed once per workload. Batches of
+// replicas run on RunReplicas/RunConcurrent, which reuse all per-replica
+// scratch across runs; see docs/performance.md for the layout and the
+// determinism contract.
 package sim
 
 import (
 	"errors"
-	"fmt"
-	"math/rand/v2"
 
 	"repro/internal/protocol"
 )
@@ -128,132 +135,19 @@ var (
 
 // Run simulates the protocol from configuration c0 until the oracle
 // certifies stability or MaxSteps interactions have happened.
+//
+// Run is deterministic in opts.Seed. The implementation samples pairs
+// through a Fenwick tree over the state counts (O(log Q) per interaction)
+// and tracks consensus incrementally, but remains bit-identical to a linear
+// prefix-scan scheduler: the differential suite in differential_test.go
+// pins exact Stats equality against the retained reference core. Callers
+// running many replicas of one workload should use RunReplicas or
+// RunConcurrent (or a Runner directly), which reuse the per-replica scratch
+// this constructor builds.
 func Run(p *protocol.Protocol, c0 protocol.Config, opts Options) (Stats, error) {
-	n := c0.Size()
-	if n < 2 {
-		return Stats{}, fmt.Errorf("%w: got %d", ErrPopulationTooSmall, n)
+	r, err := NewRunner(p, c0)
+	if err != nil {
+		return Stats{}, err
 	}
-	if c0.Dim() != p.NumStates() {
-		return Stats{}, fmt.Errorf("sim: configuration dimension %d, want %d", c0.Dim(), p.NumStates())
-	}
-	if !c0.IsNatural() {
-		return Stats{}, fmt.Errorf("sim: configuration has negative counts: %v", c0)
-	}
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 1_000_000 * n
-	}
-	checkEvery := opts.CheckEvery
-	if checkEvery <= 0 {
-		checkEvery = n
-	}
-	oracle := opts.Oracle
-	if oracle == nil {
-		oracle = Silence{P: p}
-	}
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
-
-	c := c0.Clone()
-	st := Stats{}
-	// Track when the current consensus run started, for ConsensusAt.
-	var consensusStart int64 = -1
-	curOutput := -1
-	if b, ok := p.OutputOf(c); ok {
-		curOutput, consensusStart = b, 0
-	}
-
-	record := func() {
-		b, ok := p.OutputOf(c)
-		if !ok {
-			b = -1
-		}
-		st.Trace = append(st.Trace, TracePoint{
-			Interactions: st.Interactions,
-			Config:       c.Clone(),
-			Output:       b,
-			Defined:      ok,
-		})
-	}
-	if opts.TraceEvery > 0 {
-		record()
-	}
-
-	// Check initial stability (e.g. constant protocols are stable at IC).
-	if b, ok := oracle.Classify(c); ok {
-		st.Converged, st.Output = true, b
-		st.ConsensusAt = 0
-		st.Final = c
-		return st, nil
-	}
-
-	for st.Interactions < maxSteps {
-		q1 := sampleState(rng, c, n, -1)
-		q2 := sampleState(rng, c, n-1, q1)
-		ts := p.TransitionsForPair(protocol.State(q1), protocol.State(q2))
-		t := ts[0]
-		if len(ts) > 1 {
-			t = ts[rng.IntN(len(ts))]
-		}
-		if d := p.Displacement(t); !d.IsZero() {
-			c.AddInPlace(d)
-			if opts.RecordFirings {
-				st.Firings = append(st.Firings, t)
-			}
-			// Maintain consensus bookkeeping only on real changes.
-			b, ok := p.OutputOf(c)
-			switch {
-			case !ok:
-				curOutput, consensusStart = -1, -1
-			case b != curOutput:
-				curOutput, consensusStart = b, st.Interactions+1
-			}
-		}
-		st.Interactions++
-		if opts.TraceEvery > 0 && st.Interactions%opts.TraceEvery == 0 {
-			record()
-		}
-		// The interrupt poll runs on its own ~1k-interaction cadence,
-		// decoupled from the oracle cadence: cancellation stays prompt when
-		// CheckEvery is large, and tiny populations (CheckEvery = n) don't
-		// pay for a select every few interactions.
-		if st.Interactions&1023 == 0 && opts.Interrupt != nil {
-			select {
-			case <-opts.Interrupt:
-				return st, ErrInterrupted
-			default:
-			}
-		}
-		if st.Interactions%checkEvery == 0 {
-			if b, ok := oracle.Classify(c); ok {
-				st.Converged, st.Output = true, b
-				st.ConsensusAt = consensusStart
-				break
-			}
-		}
-	}
-	st.ParallelTime = float64(st.Interactions) / float64(n)
-	st.Final = c
-	if opts.TraceEvery > 0 {
-		record()
-	}
-	return st, nil
-}
-
-// sampleState draws a state proportionally to its count in c, with total
-// weight total; exclude (≥ 0) removes one agent of that state from the
-// weights, implementing sampling of the second member of an ordered pair
-// without replacement.
-func sampleState(rng *rand.Rand, c protocol.Config, total int64, exclude int) int {
-	r := rng.Int64N(total)
-	for q, cnt := range c {
-		if q == exclude {
-			cnt--
-		}
-		if r < cnt {
-			return q
-		}
-		r -= cnt
-	}
-	// Unreachable if total matches the weights; guard for safety.
-	panic("sim: sampling overran configuration weights")
+	return r.Run(opts)
 }

@@ -262,15 +262,15 @@ func TestQuantile(t *testing.T) {
 
 func TestSampleStateDistribution(t *testing.T) {
 	// With counts (3,1), the first draw picks state 0 w.p. 3/4; sanity-check
-	// the sampler is weight-proportional and respects exclusion.
-	e := protocols.Parity()
-	p := e.Protocol
-	_ = p
+	// the Fenwick sampler is weight-proportional (the chi-square and
+	// exclusion tests in differential_test.go go deeper).
 	c := multiset.Vec{3, 1, 0, 0}
+	f := newFenwick(len(c))
+	f.reset(c)
 	rng := rand.New(rand.NewPCG(12345, 0))
 	counts := [4]int{}
 	for i := 0; i < 4000; i++ {
-		counts[sampleState(rng, c, 4, -1)]++
+		counts[f.find(rng.Int64N(4))]++
 	}
 	if counts[2] != 0 || counts[3] != 0 {
 		t.Fatal("sampled empty state")
@@ -278,12 +278,5 @@ func TestSampleStateDistribution(t *testing.T) {
 	ratio := float64(counts[0]) / float64(counts[0]+counts[1])
 	if ratio < 0.70 || ratio > 0.80 {
 		t.Fatalf("state 0 sampled with ratio %.3f, want ≈ 0.75", ratio)
-	}
-	// Exclusion: with counts (1,1) and state 0 excluded, always pick 1.
-	c2 := multiset.Vec{1, 1, 0, 0}
-	for i := 0; i < 100; i++ {
-		if got := sampleState(rng, c2, 1, 0); got != 1 {
-			t.Fatalf("exclusion violated: picked %d", got)
-		}
 	}
 }

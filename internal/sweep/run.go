@@ -50,13 +50,14 @@ type KindStats struct {
 }
 
 // SimStats aggregates convergence across the sweep's completed simulate
-// cells: percentiles of interactions (single-run cells) and of parallel
-// time (single-run cells use their run; multi-run cells their mean).
+// cells: percentiles of interactions and of parallel time (single-run
+// cells contribute their run; multi-run cells the mean over their
+// converged replicas, taken from the replica executor's aggregate).
 type SimStats struct {
 	Cells     int `json:"cells"`
 	Converged int `json:"converged"`
 	// InteractionsP50/P95/Max summarise convergence interactions over
-	// converged single-run cells.
+	// converged cells.
 	InteractionsP50 float64 `json:"interactionsP50"`
 	InteractionsP95 float64 `json:"interactionsP95"`
 	InteractionsMax float64 `json:"interactionsMax"`
@@ -190,8 +191,12 @@ func Run(ctx context.Context, eng *engine.Engine, spec Spec, opts RunOptions) (*
 		if s := simOf(cr); s != nil {
 			switch {
 			case s.Estimate != nil:
+				// Multi-run cells execute on the replica executor
+				// (sim.RunReplicas via the engine); its aggregate carries
+				// the per-run means that feed both percentile sources.
 				if s.Estimate.Converged > 0 {
 					parallel = append(parallel, s.Estimate.MeanParallel)
+					interactions = append(interactions, s.Estimate.MeanInteractions)
 				}
 			case s.Converged:
 				interactions = append(interactions, float64(s.Interactions))

@@ -261,6 +261,48 @@ func TestRunFlockSweep(t *testing.T) {
 	}
 }
 
+// TestRunMultiRunSimulateAggregates pins the E1/E2-style convergence-cell
+// path: multi-run simulate cells execute on the replica executor (via the
+// engine), their estimates carry the executor's per-run means and totals,
+// and those means feed both percentile sources of the sweep aggregate —
+// before the executor, estimate-only sweeps left the interactions
+// percentiles empty.
+func TestRunMultiRunSimulateAggregates(t *testing.T) {
+	spec := Spec{
+		Name:      "multirun",
+		Protocols: []ProtocolAxis{{Spec: "flock:3"}},
+		Kinds:     []engine.Kind{engine.KindSimulate},
+		Sizes:     []Expr{Lit(8), Lit(10)},
+		Options:   Options{Seed: 5, Runs: 4},
+	}
+	res, err := Run(context.Background(), engine.New(), spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 || res.Failed != 0 {
+		t.Fatalf("bad counts: %+v", res)
+	}
+	s := res.Simulation
+	if s == nil || s.Cells != 2 || s.Converged != 2 {
+		t.Fatalf("simulate aggregate: %+v", s)
+	}
+	if s.InteractionsP50 <= 0 || s.InteractionsMax < s.InteractionsP50 {
+		t.Fatalf("multi-run cells must feed the interactions percentiles: %+v", s)
+	}
+	if s.ParallelP50 <= 0 || s.ParallelMax < s.ParallelP50 {
+		t.Fatalf("multi-run cells must feed the parallel percentiles: %+v", s)
+	}
+	for _, cr := range res.Cells {
+		est := cr.Result.Simulation.Estimate
+		if est == nil || est.Runs != 4 || est.Converged != 4 {
+			t.Fatalf("cell %d: estimate %+v, want 4/4 converged", cr.Index, est)
+		}
+		if est.TotalInteractions <= 0 || est.MeanInteractions <= 0 {
+			t.Fatalf("cell %d: executor fields missing: %+v", cr.Index, est)
+		}
+	}
+}
+
 // TestRunRecordsCellErrors: a cell whose request is invalid fails that cell
 // only; the sweep completes and reports the error.
 func TestRunRecordsCellErrors(t *testing.T) {

@@ -192,6 +192,18 @@ func Simulate(p *Protocol, c0 Config, opts SimOptions) (SimStats, error) {
 // runs.
 var EstimateParallelTime = sim.EstimateParallelTime
 
+// SimulateReplicas executes many replicas of one workload across a worker
+// pool, reusing per-worker scratch (transition tables, sampling tree,
+// configuration buffer) across replicas and streaming the outcomes into an
+// aggregate. Replica i runs with seed ReplicaSeed(baseSeed, i); the
+// aggregate is deterministic for a fixed base seed whatever the worker
+// count.
+var SimulateReplicas = sim.RunReplicas
+
+// ReplicaSeed derives per-replica RNG seeds from a base seed with a
+// SplitMix64-style mix; all multi-replica simulation entry points use it.
+var ReplicaSeed = sim.ReplicaSeed
+
 // Exact verification (sound and complete per input, via bottom-SCC
 // analysis of the configuration graph).
 type (

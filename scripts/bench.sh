@@ -1,31 +1,39 @@
 #!/usr/bin/env bash
-# bench.sh — run the reachability-core benchmarks and pin the numbers.
+# bench.sh — run the pinned benchmark suites and record the numbers.
 #
-# Runs the BenchmarkExplore*/BenchmarkCover*/BenchmarkMaxCover* suite in
-# internal/reach (which includes the retained pre-arena core as the
-# "before" side) and writes the results as JSON, so the performance
-# trajectory can be tracked across PRs.
+# Two suites, one JSON file each:
+#
+#   reach  BenchmarkExplore*/BenchmarkCover*/BenchmarkMaxCover* in
+#          internal/reach (includes the retained pre-arena core as the
+#          "before" side)                          → BENCH_reach.json
+#   sim    BenchmarkSimStep*/BenchmarkRunReplicas* in internal/sim
+#          (includes the retained linear-scan core as the "before" side)
+#                                                  → BENCH_sim.json
 #
 # Usage:
-#   scripts/bench.sh                 # full run, writes BENCH_reach.json
-#   BENCHTIME=1x scripts/bench.sh    # smoke run (CI)
-#   OUT=/tmp/b.json scripts/bench.sh # alternate output path
+#   scripts/bench.sh                   # both suites, full run
+#   scripts/bench.sh sim               # one suite
+#   BENCHTIME=1x scripts/bench.sh      # smoke run (CI)
+#   OUT_SIM=/tmp/s.json scripts/bench.sh sim   # alternate output path
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2s}"
-out="${OUT:-BENCH_reach.json}"
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+suites="${1:-all}"
 
-go test ./internal/reach -run '^$' \
-  -bench 'Benchmark(Explore|Cover|MaxCover)' \
-  -benchmem -benchtime "$benchtime" -count 1 | tee "$tmp" >&2
+# Temp files are cleaned up on any exit, including a failing `go test`
+# under `set -e`.
+tmpfiles=()
+trap 'rm -f "${tmpfiles[@]:-}"' EXIT
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    -v goversion="$(go version | awk '{print $3}')" \
-    -v benchtime="$benchtime" \
-    -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}" '
+# render <suite> <notes> <raw-file> <out-file>: turn `go test -bench` output
+# into the committed JSON shape.
+render() {
+  awk -v suite="$1" -v notes="$2" \
+      -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+      -v goversion="$(go version | awk '{print $3}')" \
+      -v benchtime="$benchtime" \
+      -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}" '
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
@@ -52,17 +60,50 @@ BEGIN { n = 0 }
 }
 END {
   print "{"
-  print "  \"suite\": \"reach\","
+  print "  \"suite\": \"" suite "\","
   print "  \"date\": \"" date "\","
   print "  \"go\": \"" goversion "\","
   print "  \"cpu\": \"" cpu "\","
   print "  \"gomaxprocs\": " maxprocs ","
   print "  \"benchtime\": \"" benchtime "\","
-  print "  \"notes\": \"*Naive benchmarks run the retained pre-arena core (the before side of the comparison); parallel scaling requires gomaxprocs > 1\","
+  print "  \"notes\": \"" notes "\","
   print "  \"benchmarks\": ["
   for (i = 0; i < n; i++) print rows[i] (i < n - 1 ? "," : "")
   print "  ]"
   print "}"
-}' "$tmp" > "$out"
+}' "$3" > "$4"
+  echo "wrote $4" >&2
+}
 
-echo "wrote $out" >&2
+run_reach() {
+  local out="${OUT_REACH:-BENCH_reach.json}"
+  local tmp
+  tmp="$(mktemp)"
+  tmpfiles+=("$tmp")
+  go test ./internal/reach -run '^$' \
+    -bench 'Benchmark(Explore|Cover|MaxCover)' \
+    -benchmem -benchtime "$benchtime" -count 1 | tee "$tmp" >&2
+  render reach \
+    "*Naive benchmarks run the retained pre-arena core (the before side of the comparison); parallel scaling requires gomaxprocs > 1" \
+    "$tmp" "$out"
+}
+
+run_sim() {
+  local out="${OUT_SIM:-BENCH_sim.json}"
+  local tmp
+  tmp="$(mktemp)"
+  tmpfiles+=("$tmp")
+  go test ./internal/sim -run '^$' \
+    -bench 'Benchmark(SimStep|RunReplicas)' \
+    -benchmem -benchtime "$benchtime" -count 1 | tee "$tmp" >&2
+  render sim \
+    "SimStepReference runs the retained linear-scan core and RunReplicasRebuild the per-replica-rebuild baseline (the before sides); the SimStep/SimStepReference interactions/sec ratio is the pinned single-thread speedup on the Q=132 product workload" \
+    "$tmp" "$out"
+}
+
+case "$suites" in
+  reach) run_reach ;;
+  sim)   run_sim ;;
+  all)   run_reach; run_sim ;;
+  *) echo "usage: scripts/bench.sh [reach|sim|all]" >&2; exit 2 ;;
+esac
