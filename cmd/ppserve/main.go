@@ -48,12 +48,13 @@ func main() { cli.Main("ppserve", run) }
 func run(args []string) error {
 	fs := flag.NewFlagSet("ppserve", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8080", "listen address")
-		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTimeout   = fs.Duration("max-timeout", 2*time.Minute, "ceiling for request-supplied deadlines")
-		sweepTimeout = fs.Duration("sweep-timeout", 10*time.Minute, "deadline for a whole /v1/sweep request")
-		sweepWorkers = fs.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
-		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+		addr          = fs.String("addr", ":8080", "listen address")
+		timeout       = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout    = fs.Duration("max-timeout", 2*time.Minute, "ceiling for request-supplied deadlines")
+		sweepTimeout  = fs.Duration("sweep-timeout", 10*time.Minute, "deadline for a whole /v1/sweep request")
+		sweepWorkers  = fs.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
+		stableWorkers = fs.Int("stable-workers", 0, "goroutines per stable-set analysis fixpoint (0 = sequential; results are bit-identical)")
+		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +78,7 @@ func run(args []string) error {
 		MaxTimeout:     *maxTimeout,
 		SweepTimeout:   *sweepTimeout,
 		SweepWorkers:   *sweepWorkers,
+		StableWorkers:  *stableWorkers,
 	})
 }
 

@@ -60,6 +60,10 @@ type Engine struct {
 	hits     uint64
 	misses   uint64
 	computes uint64
+	// stableWorkers shards each stable-analysis fixpoint round across this
+	// many goroutines (0/1 = sequential; the result is bit-identical either
+	// way, so cached artifacts are oblivious to the setting).
+	stableWorkers int
 }
 
 // memo is a once-per-engine artifact computation: the first arrival flips
@@ -117,6 +121,26 @@ func (e *Engine) SetCacheLimit(n int) {
 	e.mu.Lock()
 	e.maxCache = n
 	e.mu.Unlock()
+}
+
+// SetStableWorkers sets the per-analysis worker count of the backward-
+// coverability fixpoint (0 or 1 = sequential). Parallel analyses are
+// bit-identical to sequential ones — same final antichains, same element
+// order — so the setting only trades CPU for latency and never changes a
+// cached artifact.
+func (e *Engine) SetStableWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.mu.Lock()
+	e.stableWorkers = n
+	e.mu.Unlock()
+}
+
+func (e *Engine) stableWorkerCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stableWorkers
 }
 
 // Registry returns the registry the engine resolves specs against.
@@ -376,7 +400,10 @@ func (e *Engine) stableFor(ctx context.Context, p *protocol.Protocol, hash strin
 				return nil, false, err
 			}
 			e.countCompute()
-			m.val, m.err = stable.Analyze(p, stable.Options{Interrupt: ctx.Done()})
+			m.val, m.err = stable.Analyze(p, stable.Options{
+				Interrupt: ctx.Done(),
+				Workers:   e.stableWorkerCount(),
+			})
 			release()
 			close(m.ready)
 		} else {
@@ -576,6 +603,8 @@ func (e *Engine) doStable(ctx context.Context, entry protocols.Entry, hash strin
 		SCBasis:     len(a.SCBasis()),
 		Iterations0: a.Iterations(0),
 		Iterations1: a.Iterations(1),
+		Frontier0:   a.FrontierProcessed(0),
+		Frontier1:   a.FrontierProcessed(1),
 		Norm:        a.MeasuredNorm(),
 	}
 	return nil

@@ -77,12 +77,17 @@ type VerifyResult struct {
 
 // StableResult reports a stable request: the sizes of the computed ideal
 // bases and the measured norm (the empirical counterpart of Lemma 3.2's β).
+// Iterations counts the backward-coverability fixpoint rounds per output
+// and Frontier the total frontier elements those rounds expanded — the
+// work measure of the frontier-driven core.
 type StableResult struct {
 	Basis0      int   `json:"basis0"`
 	Basis1      int   `json:"basis1"`
 	SCBasis     int   `json:"scBasis"`
 	Iterations0 int   `json:"iterations0"`
 	Iterations1 int   `json:"iterations1"`
+	Frontier0   int   `json:"frontier0"`
+	Frontier1   int   `json:"frontier1"`
 	Norm        int64 `json:"norm"`
 }
 

@@ -1,0 +1,135 @@
+package ideal
+
+// This file implements the storage layer of the antichain core behind
+// UpSet: minimal elements live back to back in one flat []int64 arena
+// (dimension-strided views, append-only, so views handed out never
+// dangle), an open-addressing index over the raw coordinates (shared
+// wordhash hasher) rejects exact duplicates in O(1) without materializing
+// string keys, and a per-element signature — folded support bitmask plus
+// positive ∞-norm — prunes domination scans before any coordinate is
+// touched. The companion naive.go retains the pre-arena implementation
+// verbatim for differential tests and benchmarks.
+
+import "repro/internal/wordhash"
+
+// sig is the domination-pruning signature of a minimal element m ∈ ℕ^d:
+//
+//   - support: bit (i mod 64) is set iff m(i) > 0. m ≤ v forces every
+//     positive coordinate of m to be positive in v, so
+//     support(m) &^ support(v) ≠ 0 refutes m ≤ v without touching the
+//     arena (folding at 64 keeps the test one word for any d).
+//   - norm: max over positive coordinates (‖m‖∞ on ℕ^d). m ≤ v forces
+//     norm(m) ≤ norm(v), the second one-word refutation.
+//   - hash: the element's raw-coordinate hash, cached so Clone and index
+//     growth never rehash.
+type sig struct {
+	support uint64
+	norm    int64
+	hash    uint64
+}
+
+// signatureOf computes the support mask and positive ∞-norm of v.
+func signatureOf(v []int64) (support uint64, norm int64) {
+	for i, x := range v {
+		if x > 0 {
+			support |= 1 << (uint(i) & 63)
+			if x > norm {
+				norm = x
+			}
+		}
+	}
+	return support, norm
+}
+
+// leWords reports a ≤ b componentwise for equal-length raw slices.
+func leWords(a, b []int64) bool {
+	for i, x := range a {
+		if x > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// acIndex is the exact-duplicate index: open addressing with linear
+// probing over stored element ids, keyed by the raw-coordinate hash. Ids
+// of elements later removed from the antichain stay in the table — a stale
+// hit is still a correct "do not add" answer, because a removed element is
+// dominated by whatever removed it, so the set cannot grow by re-adding
+// it.
+type acIndex struct {
+	slots  []int32 // element id + 1; 0 = empty
+	hashes []uint64
+	used   int
+}
+
+// lookup reports whether an element with coordinates c (hash h) is stored.
+func (ix *acIndex) lookup(u *UpSet, c []int64, h uint64) bool {
+	if len(ix.slots) == 0 {
+		return false
+	}
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		id := ix.slots[i]
+		if id == 0 {
+			return false
+		}
+		if ix.hashes[i] == h && eqWords(u.storedAt(id-1), c) {
+			return true
+		}
+	}
+}
+
+// add records stored element id under hash h. The element must not be in
+// the index.
+func (ix *acIndex) add(id int32, h uint64) {
+	if (ix.used+1)*4 > len(ix.slots)*3 {
+		ix.grow()
+	}
+	ix.insert(id, h)
+}
+
+func (ix *acIndex) insert(id int32, h uint64) {
+	mask := uint64(len(ix.slots) - 1)
+	i := h & mask
+	for ix.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	ix.slots[i] = id + 1
+	ix.hashes[i] = h
+	ix.used++
+}
+
+// grow doubles the table (min 64 slots) and reinserts from the cached
+// hashes; the arena is not consulted.
+func (ix *acIndex) grow() {
+	newCap := 64
+	if len(ix.slots) > 0 {
+		newCap = len(ix.slots) * 2
+	}
+	oldSlots, oldHashes := ix.slots, ix.hashes
+	ix.slots = make([]int32, newCap)
+	ix.hashes = make([]uint64, newCap)
+	ix.used = 0
+	for i, id := range oldSlots {
+		if id != 0 {
+			ix.insert(id-1, oldHashes[i])
+		}
+	}
+}
+
+func eqWords(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashWords hashes the coordinates of an element with the shared
+// raw-coordinate hasher (FNV-1a + avalanche; see wordhash).
+func hashWords(w []int64) uint64 { return wordhash.Sum(w) }

@@ -1,0 +1,91 @@
+package ideal
+
+import "math/bits"
+
+// Bits is a coordinate set over {0, …, d−1} packed into uint64 words: the
+// paper's S component of a basis element (B, S), stored so that membership
+// tests on the stable-set hot paths (BasisElement.Contains, ideal lookup
+// during decomposition) are a shift and a mask instead of a map probe.
+// The zero value is the empty set of capacity 0; NewBits sizes the words
+// for a dimension.
+type Bits []uint64
+
+// NewBits returns an empty set with capacity for coordinates 0 … d−1.
+func NewBits(d int) Bits {
+	return make(Bits, (d+63)/64)
+}
+
+// Test reports whether coordinate i is in the set. Out-of-capacity
+// coordinates are absent.
+func (b Bits) Test(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Set inserts coordinate i (which must be within capacity).
+func (b Bits) Set(i int) {
+	b[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Count returns |S|.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Members returns the coordinates of the set in increasing order.
+func (b Bits) Members() []int {
+	out := make([]int, 0, b.Count())
+	for wi, w := range b {
+		for w != 0 {
+			out = append(out, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets have the same members (capacities may
+// differ; trailing zero words are insignificant).
+func (b Bits) Equal(c Bits) bool {
+	long, short := b, c
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ToMap converts to the map representation used by the pump certificate
+// JSON format.
+func (b Bits) ToMap() map[int]bool {
+	m := make(map[int]bool, b.Count())
+	for _, i := range b.Members() {
+		m[i] = true
+	}
+	return m
+}
+
+// BitsFromMap builds a set of capacity d from a map representation; keys
+// outside [0, d) are ignored.
+func BitsFromMap(d int, m map[int]bool) Bits {
+	b := NewBits(d)
+	for i, ok := range m {
+		if ok && i >= 0 && i < d {
+			b.Set(i)
+		}
+	}
+	return b
+}

@@ -93,12 +93,25 @@ func (id Ideal) B() multiset.Vec {
 	return b
 }
 
-// S returns the paper's S component: the set of ω coordinates.
+// S returns the paper's S component: the set of ω coordinates, in the map
+// representation used by the pump certificate JSON format.
 func (id Ideal) S() map[int]bool {
 	s := make(map[int]bool)
 	for i, c := range id.caps {
 		if c == Omega {
 			s[i] = true
+		}
+	}
+	return s
+}
+
+// SBits returns the paper's S component as a packed bitset — the
+// representation stable.BasisElement keeps on its membership hot path.
+func (id Ideal) SBits() Bits {
+	s := NewBits(len(id.caps))
+	for i, c := range id.caps {
+		if c == Omega {
+			s.Set(i)
 		}
 	}
 	return s
@@ -130,9 +143,30 @@ func (id Ideal) String() string {
 
 // DownSet is a downward-closed subset of ℕ^d represented as a finite union
 // of ideals, kept irredundant (no ideal subsumes another).
+//
+// Subsumption scans during Add are pruned by a per-ideal folded ω-mask:
+// id ⊆ have needs every ω coordinate of id to be ω in have, so
+// ωmask(id) &^ ωmask(have) ≠ 0 refutes subsumption in one word before any
+// cap is compared. The pruning changes no decision — the kept ideals and
+// their order are exactly those of the unpruned seed Add — so the
+// decompositions both complementation paths (ComplementUp and the retained
+// NaiveComplementUp) produce stay bit-identical.
 type DownSet struct {
 	d      int
 	ideals []Ideal
+	omegas []uint64 // parallel to ideals: folded ω-coordinate masks
+}
+
+// omegaMask folds the ω coordinates of an ideal into one word (bit i mod
+// 64 for each ω coordinate i).
+func omegaMask(id Ideal) uint64 {
+	var m uint64
+	for i, c := range id.caps {
+		if c == Omega {
+			m |= 1 << (uint(i) & 63)
+		}
+	}
+	return m
 }
 
 // NewDownSet returns the union of the given ideals.
@@ -164,9 +198,11 @@ func (ds *DownSet) Add(ideals ...Ideal) {
 		if id.Dim() != ds.d {
 			panic(fmt.Sprintf("ideal: ideal dimension %d, want %d", id.Dim(), ds.d))
 		}
+		om := omegaMask(id)
 		sub := false
-		for _, have := range ds.ideals {
-			if have.Subsumes(id) {
+		for k, have := range ds.ideals {
+			// have ⊇ id needs ω(id) ⊆ ω(have).
+			if om&^ds.omegas[k] == 0 && have.Subsumes(id) {
 				sub = true
 				break
 			}
@@ -175,12 +211,17 @@ func (ds *DownSet) Add(ideals ...Ideal) {
 			continue
 		}
 		kept := ds.ideals[:0]
-		for _, have := range ds.ideals {
-			if !id.Subsumes(have) {
-				kept = append(kept, have)
+		keptOmegas := ds.omegas[:0]
+		for k, have := range ds.ideals {
+			// id ⊇ have needs ω(have) ⊆ ω(id).
+			if ds.omegas[k]&^om == 0 && id.Subsumes(have) {
+				continue
 			}
+			kept = append(kept, have)
+			keptOmegas = append(keptOmegas, ds.omegas[k])
 		}
 		ds.ideals = append(kept, id)
+		ds.omegas = append(keptOmegas, om)
 	}
 }
 
@@ -225,30 +266,87 @@ func (ds *DownSet) String() string {
 // ComplementUp computes the downward-closed complement of an upward-closed
 // set: ℕ^d ∖ ↑{m₁,...,m_k} = ∩_j ∪_{i : m_j(i) > 0} {v : v_i ≤ m_j(i) − 1},
 // expanded into an irredundant union of ideals.
+//
+// An irredundant union of ideals is canonical: box ideals are irreducible
+// (an ideal contained in a finite union is contained in one member — look
+// at its corner), so the irredundant decomposition of a downward-closed
+// set is exactly its set of maximal ideals, whatever order it was built
+// in. That licenses the pass structure here, which differs from the seed's
+// (retained as NaiveComplementUp) but produces the same decomposition:
+// per minimal element m, ideals that already avoid ↑m (some cap below m on
+// ⟦m⟧) pass through untouched — they were pairwise irredundant and a
+// shrunk clone can never subsume an untouched ideal (it would have had to
+// subsume its parent) — and only the clones of the remaining ideals pay
+// subsumption scans.
 func ComplementUp(u *UpSet) *DownSet {
-	ds := NewDownSet(u.Dim(), FullIdeal(u.Dim()))
-	for _, m := range u.min {
-		next := NewDownSet(u.Dim())
-		for _, id := range ds.ideals {
-			for i := 0; i < u.Dim(); i++ {
-				if m[i] <= 0 {
-					continue
-				}
+	d := u.Dim()
+	ds := NewDownSet(d, FullIdeal(d))
+	support := make([]int, 0, d)
+	var changed []Ideal
+	for _, mid := range u.ids {
+		m := u.storedAt(mid)
+		support = support[:0]
+		for i, x := range m {
+			if x > 0 {
+				support = append(support, i)
+			}
+		}
+		next := &DownSet{d: d}
+		changed = changed[:0]
+		for k, id := range ds.ideals {
+			avoids := false
+			for _, i := range support {
 				if id.caps[i] != Omega && id.caps[i] <= m[i]-1 {
-					// Already below the required cap: the ideal avoids ↑m.
-					next.Add(id)
+					avoids = true
 					break
 				}
+			}
+			if avoids {
+				next.ideals = append(next.ideals, id)
+				next.omegas = append(next.omegas, ds.omegas[k])
+			} else {
+				changed = append(changed, id)
+			}
+		}
+		// A minimal element m = 0 has empty support: ↑m = ℕ^d, complement
+		// empty, nothing survives (no clones are generated).
+		protected := len(next.ideals)
+		for _, id := range changed {
+			for _, i := range support {
+				// Here caps[i] is ω or > m[i]−1, so the clone strictly
+				// shrinks coordinate i.
 				clone := NewIdeal(id.caps)
 				clone.caps[i] = m[i] - 1
-				next.Add(clone)
+				next.addClone(clone, protected)
 			}
-			// A minimal element m = 0 makes ↑m = ℕ^d: complement empty,
-			// nothing survives.
 		}
 		ds = next
 	}
 	return ds
+}
+
+// addClone inserts a shrunk clone during a ComplementUp pass: ideals below
+// index protected are untouched originals that no clone can subsume, so
+// the removal scan starts at protected; the subsumed-by scan still covers
+// everything.
+func (ds *DownSet) addClone(id Ideal, protected int) {
+	om := omegaMask(id)
+	for k, have := range ds.ideals {
+		if om&^ds.omegas[k] == 0 && have.Subsumes(id) {
+			return
+		}
+	}
+	kept := ds.ideals[:protected]
+	keptOmegas := ds.omegas[:protected]
+	for k := protected; k < len(ds.ideals); k++ {
+		if ds.omegas[k]&^om == 0 && id.Subsumes(ds.ideals[k]) {
+			continue
+		}
+		kept = append(kept, ds.ideals[k])
+		keptOmegas = append(keptOmegas, ds.omegas[k])
+	}
+	ds.ideals = append(kept, id)
+	ds.omegas = append(keptOmegas, om)
 }
 
 // ComplementDown computes the upward-closed complement of a downward-closed

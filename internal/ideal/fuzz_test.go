@@ -1,0 +1,84 @@
+package ideal
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+)
+
+// FuzzAntichain drives the arena-backed antichain against a brute-force
+// map-based oracle (the style of internal/reach's FuzzNodeIndex): the
+// oracle keeps every generator ever added in a map keyed by the
+// serialization format, answers Contains by scanning for a dominator, and
+// derives the minimal basis by pairwise comparison. Every Add growth
+// report, every Contains probe, and the final minimal basis must agree.
+func FuzzAntichain(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3}, uint8(4))
+	f.Add([]byte{5, 0, 0, 5, 1, 1, 2, 2, 3, 3}, uint8(2))
+	f.Add([]byte{7, 7, 7, 0, 0, 0}, uint8(3))
+	f.Add([]byte{1}, uint8(1))
+	f.Add([]byte{}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, dimRaw uint8) {
+		dim := int(dimRaw%5) + 1
+		u := NewUpSet(dim)
+		oracle := make(map[string]multiset.Vec)
+		oracleContains := func(v multiset.Vec) bool {
+			for _, g := range oracle {
+				if g.Le(v) {
+					return true
+				}
+			}
+			return false
+		}
+		for off := 0; off+dim <= len(data); off += dim {
+			v := make(multiset.Vec, dim)
+			for i := 0; i < dim; i++ {
+				v[i] = int64(data[off+i] % 8)
+			}
+			if got, want := u.Contains(v), oracleContains(v); got != want {
+				t.Fatalf("Contains(%v) = %t, oracle %t", v, got, want)
+			}
+			grew := u.Add(v)
+			if want := !oracleContains(v); grew != want {
+				t.Fatalf("Add(%v) grew = %t, oracle %t", v, grew, want)
+			}
+			oracle[v.Key()] = v
+		}
+		// Oracle minimal basis: generators not strictly dominated by a
+		// distinct generator (equal generators share one map key).
+		var minimal []multiset.Vec
+		for _, g := range oracle {
+			dominated := false
+			for _, h := range oracle {
+				if !h.Equal(g) && h.Le(g) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				minimal = append(minimal, g)
+			}
+		}
+		if u.Size() != len(minimal) {
+			t.Fatalf("Size = %d, oracle %d", u.Size(), len(minimal))
+		}
+		if !equalKeyLists(sortedKeys(u.MinBasis()), sortedKeys(minimal)) {
+			t.Fatalf("minimal basis %v, oracle %v", u.MinBasis(), minimal)
+		}
+		// Every oracle-minimal element must be contained; bumping any
+		// single coordinate must stay contained (upward closure).
+		for _, g := range minimal {
+			if !u.Contains(g) {
+				t.Fatalf("minimal element %v not contained", g)
+			}
+			w := g.Clone()
+			for i := range w {
+				w[i]++
+				if !u.Contains(w) {
+					t.Fatalf("upward closure violated at %v", w)
+				}
+				w[i]--
+			}
+		}
+	})
+}

@@ -15,6 +15,13 @@
 // Complementation maps between the two representations exactly, giving the
 // duality used to compute stable sets: SC_b is the complement of the
 // upward-closed set of configurations that can cover a ¬b state.
+//
+// UpSet is the antichain workhorse of the backward-coverability fixpoint in
+// internal/stable, so it is built for throughput: minimal elements live in
+// one flat arena (antichain.go), exact duplicates are rejected through a
+// raw-coordinate hash index, and domination scans are pruned by per-element
+// signatures. The pre-arena implementation is retained verbatim as
+// NaiveUpSet (naive.go) for differential tests and benchmarks.
 package ideal
 
 import (
@@ -28,10 +35,15 @@ import (
 const Omega = int64(-1)
 
 // UpSet is an upward-closed subset of ℕ^d represented by its minimal
-// elements.
+// elements, stored in a flat arena (see antichain.go).
 type UpSet struct {
-	d   int
-	min []multiset.Vec
+	d      int
+	arena  []int64 // append-only element storage: id i at [i*d : (i+1)*d]
+	stored int     // elements ever stored (live + removed)
+	ids    []int32 // current antichain, in insertion order
+	sigs   []sig   // parallel to ids
+	live   []bool  // per stored id: still a minimal element?
+	index  acIndex
 }
 
 // NewUpSet returns the upward closure of the given generators (all of
@@ -46,11 +58,89 @@ func NewUpSet(d int, gens ...multiset.Vec) *UpSet {
 func (u *UpSet) Dim() int { return u.d }
 
 // IsEmpty reports whether the set is empty.
-func (u *UpSet) IsEmpty() bool { return len(u.min) == 0 }
+func (u *UpSet) IsEmpty() bool { return len(u.ids) == 0 }
+
+// storedAt returns stored element id as a raw view into the arena. Valid
+// for removed elements too: the arena is append-only.
+func (u *UpSet) storedAt(id int32) []int64 {
+	o := int(id) * u.d
+	return u.arena[o : o+u.d : o+u.d]
+}
+
+// At returns a read-only view of stored element id (as returned by
+// Insert). The view stays valid and unchanged for the lifetime of the set,
+// even after the element is removed from the antichain; callers must not
+// modify it.
+func (u *UpSet) At(id int) multiset.Vec { return multiset.Vec(u.storedAt(int32(id))) }
+
+// Alive reports whether stored element id is still a minimal element of
+// the set.
+func (u *UpSet) Alive(id int) bool { return u.live[id] }
 
 // Contains reports whether v belongs to the set.
 func (u *UpSet) Contains(v multiset.Vec) bool {
-	return multiset.DominatesAny(v, u.min)
+	if len(v) != u.d {
+		return false
+	}
+	vmask, vnorm := signatureOf(v)
+	return u.dominatedSig(v, vmask, vnorm)
+}
+
+// dominatedSig reports whether some minimal element is ≤ v, pruning by
+// signature before touching coordinates.
+func (u *UpSet) dominatedSig(v []int64, vmask uint64, vnorm int64) bool {
+	for k, id := range u.ids {
+		s := &u.sigs[k]
+		if s.support&^vmask != 0 || s.norm > vnorm {
+			continue
+		}
+		if leWords(u.storedAt(id), v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert unions the upward closure of one generator into the set. It
+// returns the generator's storage id (usable with At and Alive) and
+// whether the set strictly grew; id is -1 when it did not.
+func (u *UpSet) Insert(g multiset.Vec) (id int, grew bool) {
+	if g.Dim() != u.d {
+		panic(fmt.Sprintf("ideal: generator dimension %d, want %d", g.Dim(), u.d))
+	}
+	h := hashWords(g)
+	// Exact duplicate: either still minimal, or removed by a dominator —
+	// in both cases the set cannot grow.
+	if u.index.lookup(u, g, h) {
+		return -1, false
+	}
+	gmask, gnorm := signatureOf(g)
+	if u.dominatedSig(g, gmask, gnorm) {
+		return -1, false
+	}
+	// Drop elements dominated by g. g ≤ m needs support(g) ⊆ support(m)
+	// and norm(g) ≤ norm(m); both are one-word rejections.
+	keptIDs := u.ids[:0]
+	keptSigs := u.sigs[:0]
+	for k, mid := range u.ids {
+		s := u.sigs[k]
+		if gmask&^s.support == 0 && gnorm <= s.norm && leWords(g, u.storedAt(mid)) {
+			u.live[mid] = false
+			continue
+		}
+		keptIDs = append(keptIDs, mid)
+		keptSigs = append(keptSigs, s)
+	}
+	u.ids, u.sigs = keptIDs, keptSigs
+
+	nid := int32(u.stored)
+	u.arena = append(u.arena, g...)
+	u.stored++
+	u.live = append(u.live, true)
+	u.index.add(nid, h)
+	u.ids = append(u.ids, nid)
+	u.sigs = append(u.sigs, sig{support: gmask, norm: gnorm, hash: h})
+	return int(nid), true
 }
 
 // Add unions the upward closures of the generators into the set and reports
@@ -58,56 +148,68 @@ func (u *UpSet) Contains(v multiset.Vec) bool {
 func (u *UpSet) Add(gens ...multiset.Vec) bool {
 	grew := false
 	for _, g := range gens {
-		if g.Dim() != u.d {
-			panic(fmt.Sprintf("ideal: generator dimension %d, want %d", g.Dim(), u.d))
+		if _, ok := u.Insert(g); ok {
+			grew = true
 		}
-		if u.Contains(g) {
-			continue
-		}
-		grew = true
-		kept := u.min[:0]
-		for _, m := range u.min {
-			if !g.Le(m) {
-				kept = append(kept, m)
-			}
-		}
-		u.min = append(kept, g.Clone())
 	}
 	return grew
 }
 
-// MinBasis returns a copy of the antichain of minimal elements.
+// MinBasis returns a copy of the antichain of minimal elements, in
+// insertion order.
 func (u *UpSet) MinBasis() []multiset.Vec {
-	out := make([]multiset.Vec, len(u.min))
-	for i, m := range u.min {
-		out[i] = m.Clone()
+	out := make([]multiset.Vec, len(u.ids))
+	for k, id := range u.ids {
+		out[k] = multiset.Vec(u.storedAt(id)).Clone()
 	}
 	return out
 }
 
 // Size returns the number of minimal elements.
-func (u *UpSet) Size() int { return len(u.min) }
+func (u *UpSet) Size() int { return len(u.ids) }
 
-// Norm returns the maximal ‖m‖∞ over minimal elements (0 for the empty set).
+// Norm returns the maximal ‖m‖∞ over minimal elements (0 for the empty
+// set).
 func (u *UpSet) Norm() int64 {
 	var n int64
-	for _, m := range u.min {
-		if k := m.NormInf(); k > n {
-			n = k
+	for k := range u.sigs {
+		if u.sigs[k].norm > n {
+			n = u.sigs[k].norm
 		}
 	}
 	return n
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The antichain is already minimal, so the copy
+// is a flat arena compaction — no re-minimization through Add (the naive
+// core's O(n²) Clone) and no rehashing (signatures cache the hashes).
 func (u *UpSet) Clone() *UpSet {
-	return NewUpSet(u.d, u.min...)
+	n := len(u.ids)
+	out := &UpSet{
+		d:      u.d,
+		arena:  make([]int64, 0, n*u.d),
+		stored: n,
+		ids:    make([]int32, n),
+		sigs:   make([]sig, n),
+		live:   make([]bool, n),
+	}
+	copy(out.sigs, u.sigs)
+	for k, id := range u.ids {
+		out.arena = append(out.arena, u.storedAt(id)...)
+		out.ids[k] = int32(k)
+		out.live[k] = true
+		out.index.add(int32(k), u.sigs[k].hash)
+	}
+	return out
 }
 
-// Union returns the union of u and v.
+// Union returns the union of u and v. u's antichain is copied directly
+// (Clone); only v's elements go through domination checks.
 func (u *UpSet) Union(v *UpSet) *UpSet {
 	out := u.Clone()
-	out.Add(v.min...)
+	for _, id := range v.ids {
+		out.Insert(multiset.Vec(v.storedAt(id)))
+	}
 	return out
 }
 
@@ -118,9 +220,10 @@ func (u *UpSet) Intersect(v *UpSet) *UpSet {
 		panic(fmt.Sprintf("ideal: dimension mismatch %d vs %d", u.d, v.d))
 	}
 	var gens []multiset.Vec
-	for _, a := range u.min {
-		for _, b := range v.min {
-			gens = append(gens, a.Max(b))
+	for _, a := range u.ids {
+		av := multiset.Vec(u.storedAt(a))
+		for _, b := range v.ids {
+			gens = append(gens, av.Max(multiset.Vec(v.storedAt(b))))
 		}
 	}
 	return NewUpSet(u.d, multiset.Minimal(gens)...)
@@ -128,16 +231,16 @@ func (u *UpSet) Intersect(v *UpSet) *UpSet {
 
 // Equal reports whether u and v denote the same set (antichain equality).
 func (u *UpSet) Equal(v *UpSet) bool {
-	if u.d != v.d || len(u.min) != len(v.min) {
+	if u.d != v.d || len(u.ids) != len(v.ids) {
 		return false
 	}
-	for _, m := range u.min {
-		if !v.Contains(m) {
+	for _, id := range u.ids {
+		if !v.Contains(multiset.Vec(u.storedAt(id))) {
 			return false
 		}
 	}
-	for _, m := range v.min {
-		if !u.Contains(m) {
+	for _, id := range v.ids {
+		if !u.Contains(multiset.Vec(v.storedAt(id))) {
 			return false
 		}
 	}
@@ -146,9 +249,9 @@ func (u *UpSet) Equal(v *UpSet) bool {
 
 // String renders the minimal basis.
 func (u *UpSet) String() string {
-	parts := make([]string, len(u.min))
-	for i, m := range u.min {
-		parts[i] = m.String()
+	parts := make([]string, len(u.ids))
+	for k, id := range u.ids {
+		parts[k] = multiset.Vec(u.storedAt(id)).String()
 	}
 	return "↑{" + strings.Join(parts, ", ") + "}"
 }

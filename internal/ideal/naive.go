@@ -1,0 +1,134 @@
+package ideal
+
+// This file retains the pre-arena antichain implementation verbatim — one
+// freshly allocated multiset.Vec per minimal element, O(n·d) linear
+// domination scans in Add/Contains, Clone re-minimizing through Add — as a
+// differential-testing reference and as the "before" side of the
+// BenchmarkStableAnalyze* comparisons (the same role naive_test.go plays in
+// internal/reach and reference_test.go in internal/sim). NaiveComplementUp
+// is the matching seed complementation, reading the naive element slice
+// directly. Production code must use UpSet; nothing outside tests and
+// benchmarks should construct a NaiveUpSet.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/multiset"
+)
+
+// NaiveUpSet is the retained reference implementation of an upward-closed
+// subset of ℕ^d represented by its minimal elements.
+type NaiveUpSet struct {
+	d   int
+	min []multiset.Vec
+}
+
+// NewNaiveUpSet returns the upward closure of the given generators (all of
+// dimension d; the empty generator list gives the empty set).
+func NewNaiveUpSet(d int, gens ...multiset.Vec) *NaiveUpSet {
+	u := &NaiveUpSet{d: d}
+	u.Add(gens...)
+	return u
+}
+
+// Dim returns the dimension d.
+func (u *NaiveUpSet) Dim() int { return u.d }
+
+// IsEmpty reports whether the set is empty.
+func (u *NaiveUpSet) IsEmpty() bool { return len(u.min) == 0 }
+
+// Contains reports whether v belongs to the set.
+func (u *NaiveUpSet) Contains(v multiset.Vec) bool {
+	return multiset.DominatesAny(v, u.min)
+}
+
+// Add unions the upward closures of the generators into the set and reports
+// whether the set strictly grew.
+func (u *NaiveUpSet) Add(gens ...multiset.Vec) bool {
+	grew := false
+	for _, g := range gens {
+		if g.Dim() != u.d {
+			panic(fmt.Sprintf("ideal: generator dimension %d, want %d", g.Dim(), u.d))
+		}
+		if u.Contains(g) {
+			continue
+		}
+		grew = true
+		kept := u.min[:0]
+		for _, m := range u.min {
+			if !g.Le(m) {
+				kept = append(kept, m)
+			}
+		}
+		u.min = append(kept, g.Clone())
+	}
+	return grew
+}
+
+// MinBasis returns a copy of the antichain of minimal elements.
+func (u *NaiveUpSet) MinBasis() []multiset.Vec {
+	out := make([]multiset.Vec, len(u.min))
+	for i, m := range u.min {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+// Size returns the number of minimal elements.
+func (u *NaiveUpSet) Size() int { return len(u.min) }
+
+// Norm returns the maximal ‖m‖∞ over minimal elements (0 for the empty set).
+func (u *NaiveUpSet) Norm() int64 {
+	var n int64
+	for _, m := range u.min {
+		if k := m.NormInf(); k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy (re-minimizing through Add, as the seed did).
+func (u *NaiveUpSet) Clone() *NaiveUpSet {
+	return NewNaiveUpSet(u.d, u.min...)
+}
+
+// String renders the minimal basis.
+func (u *NaiveUpSet) String() string {
+	parts := make([]string, len(u.min))
+	for i, m := range u.min {
+		parts[i] = m.String()
+	}
+	return "↑{" + strings.Join(parts, ", ") + "}"
+}
+
+// NaiveComplementUp is the retained seed complementation: the
+// downward-closed complement of a naive upward-closed set, expanded into an
+// irredundant union of ideals exactly as ComplementUp does for the arena
+// core.
+func NaiveComplementUp(u *NaiveUpSet) *DownSet {
+	ds := NewDownSet(u.Dim(), FullIdeal(u.Dim()))
+	for _, m := range u.min {
+		next := NewDownSet(u.Dim())
+		for _, id := range ds.ideals {
+			for i := 0; i < u.Dim(); i++ {
+				if m[i] <= 0 {
+					continue
+				}
+				if id.caps[i] != Omega && id.caps[i] <= m[i]-1 {
+					// Already below the required cap: the ideal avoids ↑m.
+					next.Add(id)
+					break
+				}
+				clone := NewIdeal(id.caps)
+				clone.caps[i] = m[i] - 1
+				next.Add(clone)
+			}
+			// A minimal element m = 0 makes ↑m = ℕ^d: complement empty,
+			// nothing survives.
+		}
+		ds = next
+	}
+	return ds
+}

@@ -195,10 +195,12 @@ func FindLeaderless(p *protocol.Protocol, opts FindOptions) (*LeaderlessCertific
 		if !st.Converged {
 			return nil, fmt.Errorf("%w: from D with |D| = %d", ErrNoConvergence, d.Size())
 		}
-		base, s, da, ok := analysis.DecomposeStable(st.Final)
+		base, sBits, da, ok := analysis.DecomposeStable(st.Final)
 		if !ok {
 			return nil, fmt.Errorf("pump: simulator returned an unstable configuration")
 		}
+		// The certificate JSON format keeps S as a map.
+		s := sBits.ToMap()
 
 		theta, b, db, found := findTheta(p, basis, s)
 		if !found {

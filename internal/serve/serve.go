@@ -45,6 +45,11 @@ type Options struct {
 	SweepTimeout time.Duration
 	// SweepWorkers is the worker-pool size of each sweep (0 = GOMAXPROCS).
 	SweepWorkers int
+	// StableWorkers shards each stable-set analysis fixpoint across this
+	// many goroutines (0 = sequential). Applied to the engine by
+	// NewHandler; parallel analyses are bit-identical to sequential ones,
+	// so the artifact cache is unaffected by the setting.
+	StableWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -94,9 +99,13 @@ type catalogBody struct {
 	Catalog []catalogEntry `json:"catalog"`
 }
 
-// NewHandler mounts the API on a fresh mux backed by eng.
+// NewHandler mounts the API on a fresh mux backed by eng. A positive
+// Options.StableWorkers is applied to eng.
 func NewHandler(eng *engine.Engine, opts Options) http.Handler {
 	opts = opts.withDefaults()
+	if opts.StableWorkers > 0 {
+		eng.SetStableWorkers(opts.StableWorkers)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		handleAnalyze(eng, opts, w, r)

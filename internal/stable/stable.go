@@ -18,11 +18,24 @@
 // lemma. SC_b is then the ideal decomposition of the complement, from which
 // the paper's basis elements (B, S) and their norms (Lemma 3.2) are read
 // off directly.
+//
+// The fixpoint is frontier-driven: a round derives predecessors only of the
+// elements that became minimal in the previous round, because predecessors
+// of older elements were already derived and, the set being monotone
+// non-shrinking under Add, anything dominated once stays dominated. With
+// Options.Workers > 1 the predecessor fan-out of a round is sharded across
+// goroutines into preallocated slots and merged by one sequential
+// application pass in frontier × transition order — the exact order the
+// sequential mode uses — so the final antichain is bit-identical (same
+// elements, same element order) for every worker count. The retained seed
+// fixpoint (reference_test.go) pins both cores against each other.
 package stable
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ideal"
 	"repro/internal/multiset"
@@ -36,7 +49,14 @@ var ErrBasisTooLarge = errors.New("stable: backward coverability basis exceeds l
 // ErrInterrupted is returned when Options.Interrupt closes mid-analysis.
 var ErrInterrupted = errors.New("stable: interrupted")
 
-// Analysis holds the computed stable sets of one protocol.
+// interruptBatch is how many predecessor derivations (per goroutine) go
+// between polls of the Interrupt channel.
+const interruptBatch = 1024
+
+// Analysis holds the computed stable sets of one protocol. An Analysis is
+// immutable once returned by Analyze: every accessor hands out shared
+// internal values (the engine caches analyses across requests), so callers
+// must not modify what they receive.
 type Analysis struct {
 	p *protocol.Protocol
 	// unstable[b] = U_b: configurations that can reach an agent with
@@ -44,8 +64,14 @@ type Analysis struct {
 	unstable [2]*ideal.UpSet
 	// sc[b] = SC_b as a downward-closed set.
 	sc [2]*ideal.DownSet
-	// iterations[b] counts fixpoint rounds, for reporting.
+	// scAll = SC_0 ∪ SC_1 and its basis, computed once in Analyze (SC and
+	// SCBasis sit on the pump finders' hot paths).
+	scAll      *ideal.DownSet
+	scAllBasis []BasisElement
+	// iterations[b] counts fixpoint rounds, frontier[b] the total frontier
+	// elements expanded, for reporting.
 	iterations [2]int
+	frontier   [2]int
 }
 
 // Options configures Analyze.
@@ -56,6 +82,10 @@ type Options struct {
 	// Interrupt, when non-nil, cancels the analysis cooperatively: Analyze
 	// aborts with ErrInterrupted soon after the channel closes.
 	Interrupt <-chan struct{}
+	// Workers shards each round's predecessor fan-out across this many
+	// goroutines (0 or 1 = sequential). The result is bit-identical to the
+	// sequential fixpoint for any worker count.
+	Workers int
 }
 
 // Analyze computes SC_0 and SC_1 for the protocol.
@@ -66,62 +96,195 @@ func Analyze(p *protocol.Protocol, opts Options) (*Analysis, error) {
 	}
 	a := &Analysis{p: p}
 	for b := 0; b <= 1; b++ {
-		u, iters, err := backwardCover(p, b, maxBasis, opts.Interrupt)
+		u, iters, expanded, err := backwardCover(p, b, maxBasis, opts.Workers, opts.Interrupt)
 		if err != nil {
 			return nil, fmt.Errorf("computing U_%d: %w", b, err)
 		}
 		a.unstable[b] = u
 		a.iterations[b] = iters
+		a.frontier[b] = expanded
 		a.sc[b] = ideal.ComplementUp(u)
 	}
+	a.scAll = a.sc[0].Union(a.sc[1])
+	a.scAllBasis = basisOf(a.scAll)
 	return a, nil
 }
 
-// backwardCover computes U_b by the pred-basis fixpoint.
-func backwardCover(p *protocol.Protocol, b int, maxBasis int, stop <-chan struct{}) (*ideal.UpSet, int, error) {
+// predRow is one non-identity transition of the pred-basis step: the
+// minimal configurations firing t into ↑m are max((m − delta)⁺, pre).
+type predRow struct {
+	delta multiset.Vec
+	pre   multiset.Vec
+}
+
+// predInto writes max((m − delta)⁺, pre) into dst (len d, no allocation).
+func predInto(dst, m []int64, row *predRow) {
+	for i := range dst {
+		x := m[i] - row.delta[i]
+		if x < 0 {
+			x = 0
+		}
+		if p := row.pre[i]; p > x {
+			x = p
+		}
+		dst[i] = x
+	}
+}
+
+// stopped polls a cooperative stop channel.
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// backwardCover computes U_b by the frontier-driven pred-basis fixpoint.
+// It returns the fixpoint, the number of rounds, and the total number of
+// frontier elements expanded.
+func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-chan struct{}) (*ideal.UpSet, int, int, error) {
 	d := p.NumStates()
 	u := ideal.NewUpSet(d)
+	var frontier []int32
 	for q := 0; q < d; q++ {
 		if p.Output(protocol.State(q)) != b {
-			u.Add(multiset.Unit(d, q))
+			if id, grew := u.Insert(multiset.Unit(d, q)); grew {
+				frontier = append(frontier, int32(id))
+			}
 		}
 	}
-	pres := make([]multiset.Vec, p.NumTransitions())
+	rows := make([]predRow, 0, p.NumTransitions())
 	for t := 0; t < p.NumTransitions(); t++ {
+		delta := p.Displacement(t)
+		if delta.IsZero() {
+			continue
+		}
 		tr := p.Transition(t)
-		pres[t] = multiset.Pair(d, int(tr.P), int(tr.Q))
+		rows = append(rows, predRow{delta: delta, pre: multiset.Pair(d, int(tr.P), int(tr.Q))})
 	}
-	iters := 0
-	for {
+	var (
+		iters    int
+		expanded int
+		roundF   []int32 // live frontier of the current round
+		preds    []int64 // round-scratch pred arena, len(roundF)·len(rows)·d
+	)
+	for len(frontier) > 0 {
 		iters++
-		grew := false
-		basis := u.MinBasis()
-		for k, m := range basis {
-			if k&1023 == 0 && stop != nil {
-				select {
-				case <-stop:
-					return nil, iters, ErrInterrupted
-				default:
+		// Elements dominated since they were enqueued derive nothing their
+		// dominator (also in this frontier, and alive) does not cover.
+		roundF = roundF[:0]
+		for _, id := range frontier {
+			if u.Alive(int(id)) {
+				roundF = append(roundF, id)
+			}
+		}
+		if len(roundF) == 0 {
+			break
+		}
+		expanded += len(roundF)
+
+		// Fan-out: derive all predecessors of the frontier into fixed
+		// (element × transition) slots — pure reads of the arena, so the
+		// sharded mode writes the same words the sequential mode does.
+		need := len(roundF) * len(rows) * d
+		if cap(preds) < need {
+			preds = make([]int64, need)
+		}
+		preds = preds[:need]
+		if workers > 1 && len(roundF) > 1 {
+			if err := fanOutParallel(u, roundF, rows, preds, d, workers, stop); err != nil {
+				return nil, iters, expanded, err
+			}
+		} else {
+			n := 0
+			for fi, id := range roundF {
+				m := u.At(int(id))
+				base := fi * len(rows) * d
+				for ti := range rows {
+					if n%interruptBatch == 0 && stopped(stop) {
+						return nil, iters, expanded, ErrInterrupted
+					}
+					n++
+					predInto(preds[base+ti*d:base+(ti+1)*d], m, &rows[ti])
 				}
 			}
-			for t := 0; t < p.NumTransitions(); t++ {
-				delta := p.Displacement(t)
-				if delta.IsZero() {
-					continue
-				}
-				pre := m.Sub(delta).Clip().Max(pres[t])
-				if u.Add(pre) {
-					grew = true
-				}
+		}
+
+		// Merge: one sequential application pass in slot order. This is the
+		// only phase that mutates the antichain, so sequential and sharded
+		// runs insert identical vectors in identical order — the final
+		// antichain is bit-identical for any worker count.
+		frontier = frontier[:0]
+		for k := 0; k < len(roundF)*len(rows); k++ {
+			if k%interruptBatch == 0 && stopped(stop) {
+				return nil, iters, expanded, ErrInterrupted
+			}
+			if id, grew := u.Insert(preds[k*d : (k+1)*d]); grew {
+				frontier = append(frontier, int32(id))
 			}
 		}
 		if u.Size() > maxBasis {
-			return nil, iters, fmt.Errorf("%w: %d elements", ErrBasisTooLarge, u.Size())
-		}
-		if !grew {
-			return u, iters, nil
+			return nil, iters, expanded, fmt.Errorf("%w: %d elements", ErrBasisTooLarge, u.Size())
 		}
 	}
+	if iters == 0 {
+		// No generators at all (every state already has output b): report
+		// the one vacuous round the seed fixpoint counted.
+		iters = 1
+	}
+	return u, iters, expanded, nil
+}
+
+// fanOutParallel shards the frontier across workers, each deriving the
+// predecessors of a contiguous element range into the shared slot arena.
+// Slots are disjoint, so no synchronization beyond the final wait is
+// needed; every worker polls the stop channel in batches.
+func fanOutParallel(u *ideal.UpSet, roundF []int32, rows []predRow, preds []int64, d, workers int, stop <-chan struct{}) error {
+	if workers > len(roundF) {
+		workers = len(roundF)
+	}
+	var (
+		wg          sync.WaitGroup
+		interrupted atomic.Bool
+	)
+	chunk := (len(roundF) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(roundF) {
+			hi = len(roundF)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			n := 0
+			for fi := lo; fi < hi; fi++ {
+				m := u.At(int(roundF[fi]))
+				base := fi * len(rows) * d
+				for ti := range rows {
+					if n%interruptBatch == 0 && stopped(stop) {
+						interrupted.Store(true)
+						return
+					}
+					n++
+					predInto(preds[base+ti*d:base+(ti+1)*d], m, &rows[ti])
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if interrupted.Load() {
+		return ErrInterrupted
+	}
+	return nil
 }
 
 // Protocol returns the analyzed protocol.
@@ -131,14 +294,21 @@ func (a *Analysis) Protocol() *protocol.Protocol { return a.p }
 // shared; callers must not modify it.
 func (a *Analysis) StableSet(b int) *ideal.DownSet { return a.sc[b] }
 
-// SC returns SC = SC_0 ∪ SC_1.
-func (a *Analysis) SC() *ideal.DownSet { return a.sc[0].Union(a.sc[1]) }
+// SC returns SC = SC_0 ∪ SC_1, computed once per analysis. The returned
+// set is shared; callers must not modify it.
+func (a *Analysis) SC() *ideal.DownSet { return a.scAll }
 
-// Unstable returns U_b, the upward-closed complement of SC_b.
+// Unstable returns U_b, the upward-closed complement of SC_b. The returned
+// set is shared; callers must not modify it.
 func (a *Analysis) Unstable(b int) *ideal.UpSet { return a.unstable[b] }
 
 // Iterations returns the number of fixpoint rounds used for U_b.
 func (a *Analysis) Iterations(b int) int { return a.iterations[b] }
+
+// FrontierProcessed returns the total number of frontier elements expanded
+// by the U_b fixpoint — the work measure of the frontier-driven core (the
+// seed fixpoint re-expanded the whole basis every round).
+func (a *Analysis) FrontierProcessed(b int) int { return a.frontier[b] }
 
 // IsStable reports whether configuration c is b-stable.
 func (a *Analysis) IsStable(c protocol.Config, b int) bool {
@@ -158,10 +328,12 @@ func (a *Analysis) Classify(c protocol.Config) (int, bool) {
 	return 0, false
 }
 
-// BasisElement is a (B, S) pair as in Section 3: the ideal B + ℕ^S.
+// BasisElement is a (B, S) pair as in Section 3: the ideal B + ℕ^S. S is a
+// packed coordinate bitset (ideal.Bits); use S.ToMap for the certificate
+// map representation.
 type BasisElement struct {
 	B multiset.Vec
-	S map[int]bool
+	S ideal.Bits
 }
 
 // Norm returns ‖(B,S)‖∞ = ‖B‖∞.
@@ -172,7 +344,7 @@ func (e BasisElement) Norm() int64 { return e.B.NormInf() }
 // correspondence).
 func (e BasisElement) Contains(c protocol.Config) bool {
 	for i, v := range c {
-		if !e.S[i] && v > e.B[i] {
+		if v > e.B[i] && !e.S.Test(i) {
 			return false
 		}
 	}
@@ -185,16 +357,17 @@ func (a *Analysis) Basis(b int) []BasisElement {
 	return basisOf(a.sc[b])
 }
 
-// SCBasis returns the basis elements of SC = SC_0 ∪ SC_1.
+// SCBasis returns the basis elements of SC = SC_0 ∪ SC_1, computed once
+// per analysis. The returned slice is shared; callers must not modify it.
 func (a *Analysis) SCBasis() []BasisElement {
-	return basisOf(a.SC())
+	return a.scAllBasis
 }
 
 func basisOf(ds *ideal.DownSet) []BasisElement {
 	ids := ds.Ideals()
 	out := make([]BasisElement, len(ids))
 	for i, id := range ids {
-		out[i] = BasisElement{B: id.B(), S: id.S()}
+		out[i] = BasisElement{B: id.B(), S: id.SBits()}
 	}
 	return out
 }
@@ -211,7 +384,7 @@ func (a *Analysis) MeasuredNorm() int64 {
 // choice that makes Lemma 5.5's concentration argument work). The returned
 // B agrees with c outside S and is 0 on S, so B + ℕ^S ⊆ SC holds exactly
 // in the paper's sense. ok is false if c is not stable.
-func (a *Analysis) DecomposeStable(c protocol.Config) (B multiset.Vec, S map[int]bool, Da multiset.Vec, ok bool) {
+func (a *Analysis) DecomposeStable(c protocol.Config) (B multiset.Vec, S ideal.Bits, Da multiset.Vec, ok bool) {
 	e, found := a.FindStableIdeal(c)
 	if !found {
 		return nil, nil, nil, false
@@ -219,7 +392,7 @@ func (a *Analysis) DecomposeStable(c protocol.Config) (B multiset.Vec, S map[int
 	B = multiset.New(c.Dim())
 	Da = multiset.New(c.Dim())
 	for i, v := range c {
-		if e.S[i] {
+		if e.S.Test(i) {
 			Da[i] = v
 		} else {
 			B[i] = v
@@ -241,7 +414,7 @@ func (a *Analysis) FindStableIdeal(c protocol.Config) (BasisElement, bool) {
 		}
 		var onS int64
 		for i, v := range c {
-			if e.S[i] {
+			if e.S.Test(i) {
 				onS += v
 			}
 		}

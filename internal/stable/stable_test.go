@@ -8,21 +8,85 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/protocols"
 	"repro/internal/sim"
+	"repro/internal/wordhash"
 )
+
+// configIndex maps configurations to dense ids for the brute-force
+// propagation: open addressing keyed by the raw-coordinate hash
+// (internal/wordhash), the same playbook as the reach node index and the
+// dioph candidate set — no string keys materialized per configuration.
+type configIndex struct {
+	configs []multiset.Vec
+	slots   []int32 // config id + 1; 0 = empty
+	hashes  []uint64
+}
+
+func (ix *configIndex) lookup(c multiset.Vec) (int, bool) {
+	if len(ix.slots) == 0 {
+		return 0, false
+	}
+	h := wordhash.Sum(c)
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		id := ix.slots[i]
+		if id == 0 {
+			return 0, false
+		}
+		if ix.hashes[i] == h && ix.configs[id-1].Equal(c) {
+			return int(id - 1), true
+		}
+	}
+}
+
+// add inserts a copy of c (which must not be present) and returns its id.
+func (ix *configIndex) add(c multiset.Vec) int {
+	if (len(ix.configs)+1)*4 > len(ix.slots)*3 {
+		ix.grow()
+	}
+	ix.configs = append(ix.configs, c.Clone())
+	ix.insert(int32(len(ix.configs)), wordhash.Sum(c))
+	return len(ix.configs) - 1
+}
+
+func (ix *configIndex) insert(idPlus1 int32, h uint64) {
+	mask := uint64(len(ix.slots) - 1)
+	i := h & mask
+	for ix.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	ix.slots[i] = idPlus1
+	ix.hashes[i] = h
+}
+
+func (ix *configIndex) grow() {
+	newCap := 64
+	if len(ix.slots) > 0 {
+		newCap = len(ix.slots) * 2
+	}
+	oldSlots, oldHashes := ix.slots, ix.hashes
+	ix.slots = make([]int32, newCap)
+	ix.hashes = make([]uint64, newCap)
+	for i, id := range oldSlots {
+		if id != 0 {
+			ix.insert(id, oldHashes[i])
+		}
+	}
+}
 
 // bruteStable computes b-stability for every configuration of size s by
 // explicit backward propagation over the full size-s configuration space —
 // an implementation independent of the symbolic backward coverability, used
-// as ground truth.
-func bruteStable(p *protocol.Protocol, s int64, b int) map[string]bool {
+// as ground truth. It returns the enumerated configurations and their
+// stability flags, index-aligned.
+func bruteStable(p *protocol.Protocol, s int64, b int) ([]multiset.Vec, []bool) {
 	d := p.NumStates()
-	var configs []multiset.Vec
+	ix := &configIndex{}
 	cur := multiset.New(d)
 	var rec func(i int, left int64)
 	rec = func(i int, left int64) {
 		if i == d-1 {
 			cur[i] = left
-			configs = append(configs, cur.Clone())
+			ix.add(cur)
 			cur[i] = 0
 			return
 		}
@@ -33,11 +97,8 @@ func bruteStable(p *protocol.Protocol, s int64, b int) map[string]bool {
 		cur[i] = 0
 	}
 	rec(0, s)
+	configs := ix.configs
 
-	idx := make(map[string]int, len(configs))
-	for i, c := range configs {
-		idx[c.Key()] = i
-	}
 	// bad[i]: configuration covers a state with output ≠ b.
 	bad := make([]bool, len(configs))
 	for i, c := range configs {
@@ -55,7 +116,11 @@ func bruteStable(p *protocol.Protocol, s int64, b int) map[string]bool {
 			if !p.Enabled(c, t) || p.Displacement(t).IsZero() {
 				continue
 			}
-			succs[i] = append(succs[i], idx[c.Add(p.Displacement(t)).Key()])
+			j, ok := ix.lookup(c.Add(p.Displacement(t)))
+			if !ok {
+				panic("bruteStable: successor escaped the size-s slice")
+			}
+			succs[i] = append(succs[i], j)
 		}
 	}
 	changed := true
@@ -74,11 +139,11 @@ func bruteStable(p *protocol.Protocol, s int64, b int) map[string]bool {
 			}
 		}
 	}
-	out := make(map[string]bool, len(configs))
-	for i, c := range configs {
-		out[c.Key()] = !bad[i]
+	stable := make([]bool, len(configs))
+	for i := range configs {
+		stable[i] = !bad[i]
 	}
-	return out
+	return configs, stable
 }
 
 // TestCrossValidateAgainstBruteForce is the central soundness test: the
@@ -105,15 +170,11 @@ func TestCrossValidateAgainstBruteForce(t *testing.T) {
 			}
 			for s := int64(1); s <= 5; s++ {
 				for b := 0; b <= 1; b++ {
-					want := bruteStable(p, s, b)
-					for key, stable := range want {
-						c, err := multiset.ParseKey(key, p.NumStates())
-						if err != nil {
-							t.Fatal(err)
-						}
-						if got := a.IsStable(c, b); got != stable {
+					configs, want := bruteStable(p, s, b)
+					for i, c := range configs {
+						if got := a.IsStable(c, b); got != want[i] {
 							t.Fatalf("size %d, b=%d, config %s: symbolic=%t brute=%t",
-								s, b, p.FormatConfig(c), got, stable)
+								s, b, p.FormatConfig(c), got, want[i])
 						}
 					}
 				}
@@ -233,12 +294,12 @@ func TestDecomposeStable(t *testing.T) {
 	if !bb.Add(da).Equal(c) {
 		t.Fatalf("B + Da = %v ≠ C = %v", bb.Add(da), c)
 	}
-	if !da.SupportedBy(s) {
-		t.Fatalf("Da = %v not supported by S = %v", da, s)
+	if !da.SupportedBy(s.ToMap()) {
+		t.Fatalf("Da = %v not supported by S = %v", da, s.Members())
 	}
 	for i := range bb {
-		if s[i] && bb[i] != 0 {
-			t.Fatalf("B must vanish on S: %v / %v", bb, s)
+		if s.Test(i) && bb[i] != 0 {
+			t.Fatalf("B must vanish on S: %v / %v", bb, s.Members())
 		}
 	}
 	// Unstable configuration: no decomposition.
@@ -262,8 +323,8 @@ func TestBasisElements(t *testing.T) {
 			}
 			// B must vanish on S.
 			for i := range el.B {
-				if el.S[i] && el.B[i] != 0 {
-					t.Fatalf("B nonzero on S: %v %v", el.B, el.S)
+				if el.S.Test(i) && el.B[i] != 0 {
+					t.Fatalf("B nonzero on S: %v %v", el.B, el.S.Members())
 				}
 			}
 		}

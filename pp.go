@@ -228,11 +228,22 @@ type (
 	// StableAnalysis holds SC_0 and SC_1 with their ideal bases; it also
 	// implements Oracle for exact convergence detection in simulations.
 	StableAnalysis = stable.Analysis
+	// StableOptions configures AnalyzeStableSetsOpts: basis cap,
+	// cooperative interrupt, and the parallel fixpoint worker count.
+	StableOptions = stable.Options
 )
 
 // AnalyzeStableSets computes SC_0 and SC_1 exactly.
 func AnalyzeStableSets(p *Protocol) (*StableAnalysis, error) {
 	return stable.Analyze(p, stable.Options{})
+}
+
+// AnalyzeStableSetsOpts computes SC_0 and SC_1 with explicit options.
+// Options.Workers shards each backward-coverability round across
+// goroutines; the result is bit-identical to the sequential analysis for
+// any worker count.
+func AnalyzeStableSetsOpts(p *Protocol, opts StableOptions) (*StableAnalysis, error) {
+	return stable.Analyze(p, opts)
 }
 
 // Pumping certificates (the paper's proofs, executable).

@@ -3,15 +3,18 @@
 #
 # Two suites, one JSON file each:
 #
-#   reach  BenchmarkExplore*/BenchmarkCover*/BenchmarkMaxCover* in
-#          internal/reach (includes the retained pre-arena core as the
-#          "before" side)                          → BENCH_reach.json
-#   sim    BenchmarkSimStep*/BenchmarkRunReplicas* in internal/sim
-#          (includes the retained linear-scan core as the "before" side)
-#                                                  → BENCH_sim.json
+#   reach   BenchmarkExplore*/BenchmarkCover*/BenchmarkMaxCover* in
+#           internal/reach (includes the retained pre-arena core as the
+#           "before" side)                          → BENCH_reach.json
+#   sim     BenchmarkSimStep*/BenchmarkRunReplicas* in internal/sim
+#           (includes the retained linear-scan core as the "before" side)
+#                                                   → BENCH_sim.json
+#   stable  BenchmarkStableAnalyze* in internal/stable (includes the
+#           retained seed fixpoint as the "before" side; expect the Naive
+#           benchmark to take minutes per iteration)  → BENCH_stable.json
 #
 # Usage:
-#   scripts/bench.sh                   # both suites, full run
+#   scripts/bench.sh                   # all suites, full run
 #   scripts/bench.sh sim               # one suite
 #   BENCHTIME=1x scripts/bench.sh      # smoke run (CI)
 #   OUT_SIM=/tmp/s.json scripts/bench.sh sim   # alternate output path
@@ -101,9 +104,23 @@ run_sim() {
     "$tmp" "$out"
 }
 
+run_stable() {
+  local out="${OUT_STABLE:-BENCH_stable.json}"
+  local tmp
+  tmp="$(mktemp)"
+  tmpfiles+=("$tmp")
+  go test ./internal/stable -run '^$' \
+    -bench 'BenchmarkStableAnalyze' \
+    -benchmem -benchtime "$benchtime" -count 1 -timeout 2h | tee "$tmp" >&2
+  render stable \
+    "StableAnalyzeNaive runs the retained seed fixpoint (the before side; the seed complementation cannot finish this workload, so the baseline borrows the production complementation — the fixpoint ratio is conservative); pinned workload binary:104, |U_0 basis| = 11538; parallel scaling requires gomaxprocs > 1" \
+    "$tmp" "$out"
+}
+
 case "$suites" in
-  reach) run_reach ;;
-  sim)   run_sim ;;
-  all)   run_reach; run_sim ;;
-  *) echo "usage: scripts/bench.sh [reach|sim|all]" >&2; exit 2 ;;
+  reach)  run_reach ;;
+  sim)    run_sim ;;
+  stable) run_stable ;;
+  all)    run_reach; run_sim; run_stable ;;
+  *) echo "usage: scripts/bench.sh [reach|sim|stable|all]" >&2; exit 2 ;;
 esac
