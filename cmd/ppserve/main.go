@@ -8,6 +8,8 @@
 //	ppserve                          # listen on :8080
 //	ppserve -addr 127.0.0.1:9000 -timeout 10s -max-timeout 1m -sweep-timeout 30m
 //	ppserve -pprof localhost:6060    # opt-in net/http/pprof for profiling
+//	ppserve -coordinator             # cluster coordinator: fans sweeps out
+//	ppserve -worker -join http://coordinator:8080   # cluster worker
 //
 // Endpoints:
 //
@@ -15,14 +17,26 @@
 //	POST /v1/sweep     sweep spec in, NDJSON stream out (one row per cell)
 //	GET  /v1/catalog   resolvable specs + built-in protocol zoo
 //	GET  /healthz      liveness probe
+//	POST /v1/cluster/register, /v1/cluster/heartbeat, /v1/cluster/deregister
+//	GET  /v1/cluster/members        (coordinator mode only)
 //
 // Requests are handled concurrently against a shared engine whose
 // content-hash cache memoizes per-protocol artifacts, so repeated analyses
 // of the same protocol are near-free. Each analyze request runs under a
 // deadline (its own timeoutMillis, clamped to -max-timeout; else
 // -timeout); sweeps run under -sweep-timeout, stream one NDJSON row per
-// completed cell, and stop when the client disconnects. See docs/api.md
-// for the full HTTP reference.
+// completed cell, and stop when the client disconnects. When every
+// execution slot is busy and -max-queue requests already wait, further
+// requests are shed with 503 + Retry-After instead of queueing without
+// bound.
+//
+// In cluster mode a -coordinator process fans each /v1/sweep out across
+// the workers that joined it (-worker -join URL), routing cell ranges by
+// protocol content hash and retrying failed ranges on survivors; the
+// merged stream is the one a single process would have produced. On
+// SIGTERM a worker drains gracefully: it deregisters from the coordinator,
+// finishes its in-flight requests, and exits. See docs/api.md for the full
+// HTTP reference.
 package main
 
 import (
@@ -30,15 +44,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/serve"
 )
@@ -55,9 +72,26 @@ func run(args []string) error {
 		sweepWorkers  = fs.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
 		stableWorkers = fs.Int("stable-workers", 0, "goroutines per stable-set analysis fixpoint (0 = sequential; results are bit-identical)")
 		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+		slots         = fs.Int("slots", 0, "engine execution slots (0 = GOMAXPROCS)")
+		maxQueue      = fs.Int("max-queue", 0, "waiting requests before 503 shedding kicks in (0 = 2x slots, -1 = never shed)")
+		logRequests   = fs.Bool("log-requests", false, "emit one structured log line per request on stderr")
+		coordinator   = fs.Bool("coordinator", false, "run as cluster coordinator: accept worker registrations, fan sweeps out")
+		workerMode    = fs.Bool("worker", false, "run as cluster worker: join the coordinator at -join")
+		join          = fs.String("join", "", "coordinator base URL to register with (worker mode)")
+		advertise     = fs.String("advertise", "", "base URL this worker advertises to the coordinator (default: derived from -addr)")
+		workerID      = fs.String("worker-id", "", "stable worker identity (default: hostname-pid)")
+		heartbeatTTL  = fs.Duration("heartbeat-ttl", cluster.DefaultTTL, "worker lease duration; workers heartbeat at a third of it (coordinator mode)")
+		rangeCells    = fs.Int("range-cells", 0, "cells per dispatched range, the retry granularity (coordinator mode; 0 = 64)")
+		rangeTimeout  = fs.Duration("range-timeout", 0, "flat per-range dispatch deadline (coordinator mode; 0 = 2m)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coordinator && *workerMode {
+		return errors.New("-coordinator and -worker are mutually exclusive")
+	}
+	if *workerMode && *join == "" {
+		return errors.New("-worker requires -join")
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,15 +105,79 @@ func run(args []string) error {
 		}
 		defer pln.Close()
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	return serveOn(ctx, ln, serve.Options{
+
+	eng := engine.New()
+	if *slots > 0 {
+		eng.SetSlots(*slots)
+	}
+	opts := serve.Options{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		SweepTimeout:   *sweepTimeout,
 		SweepWorkers:   *sweepWorkers,
 		StableWorkers:  *stableWorkers,
-	})
+		MaxQueue:       *maxQueue,
+	}
+	var logger *slog.Logger
+	if *logRequests {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		opts.RequestLog = logger
+	}
+	if *coordinator {
+		opts.Cluster = cluster.NewCoordinator(cluster.CoordinatorOptions{TTL: *heartbeatTTL})
+		opts.ClusterDispatch = cluster.DispatchOptions{
+			RangeCells:   *rangeCells,
+			RangeTimeout: *rangeTimeout,
+		}
+	}
+
+	var drain func(context.Context)
+	if *workerMode {
+		self := *advertise
+		if self == "" {
+			self = advertiseURL(ln.Addr())
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		agent := &cluster.Agent{
+			Coordinator: strings.TrimSuffix(*join, "/"),
+			Self:        strings.TrimSuffix(self, "/"),
+			ID:          id,
+			Log:         logger,
+		}
+		actx, acancel := context.WithCancel(context.Background())
+		defer acancel()
+		go func() { _ = agent.Run(actx) }()
+		// The SIGTERM drain: tell the coordinator to stop routing to us and
+		// forget us, before the HTTP server finishes in-flight requests.
+		drain = func(dctx context.Context) {
+			acancel()
+			if err := agent.Deregister(dctx); err != nil {
+				fmt.Fprintf(os.Stderr, "ppserve: deregister: %v\n", err)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveOn(ctx, ln, eng, opts, drain)
+}
+
+// advertiseURL derives a worker's advertised base URL from its listen
+// address, substituting loopback for an unspecified host (":8080" is
+// dialable as itself only from the same machine anyway).
+func advertiseURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // startPprof serves net/http/pprof on its own (normally loopback-only)
@@ -102,11 +200,13 @@ func startPprof(addr string) (net.Listener, error) {
 }
 
 // serveOn runs the daemon on an existing listener until ctx is cancelled,
-// then shuts down gracefully. Split from run so tests can drive a real
-// server on an ephemeral port.
-func serveOn(ctx context.Context, ln net.Listener, opts serve.Options) error {
+// then shuts down gracefully: drain (announce departure to the coordinator,
+// if any) runs first, then Shutdown stops accepting and waits for in-flight
+// requests. Split from run so tests can drive a real server on an ephemeral
+// port.
+func serveOn(ctx context.Context, ln net.Listener, eng *engine.Engine, opts serve.Options, drain func(context.Context)) error {
 	srv := &http.Server{
-		Handler:           serve.NewHandler(engine.New(), opts),
+		Handler:           serve.NewHandler(eng, opts),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -118,6 +218,9 @@ func serveOn(ctx context.Context, ln net.Listener, opts serve.Options) error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if drain != nil {
+			drain(shutdownCtx)
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return err
 		}

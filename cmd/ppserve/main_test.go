@@ -24,7 +24,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveOn(ctx, ln, serve.Options{}) }()
+	go func() { done <- serveOn(ctx, ln, engine.New(), serve.Options{}, nil) }()
 	base := fmt.Sprintf("http://%s", ln.Addr())
 	client := &http.Client{Timeout: 30 * time.Second}
 

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/serve"
+)
+
+// TestCanonicalLocalEqualsCluster is the CLI determinism check the CI smoke
+// job scripts: the same spec run in-process and through a coordinator with a
+// registered worker produces byte-identical -canonical output.
+func TestCanonicalLocalEqualsCluster(t *testing.T) {
+	spec := writeSpec(t, `{
+	  "name": "cli-cluster",
+	  "protocols": [{"spec": "flock:{N}"}],
+	  "params": [{"from": 3, "to": 5}],
+	  "kinds": ["simulate", "stable"],
+	  "sizes": [6, 7],
+	  "options": {"seed": 11, "exactOracle": true}
+	}`)
+
+	local := captureStdout(t, func() error {
+		return run([]string{"-spec", spec, "-canonical", "-quiet"})
+	})
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{})
+	srv := httptest.NewServer(serve.NewHandler(engine.New(), serve.Options{
+		Cluster:         coord,
+		ClusterDispatch: cluster.DispatchOptions{RangeCells: 3},
+	}))
+	defer srv.Close()
+	worker := httptest.NewServer(serve.NewHandler(engine.New(), serve.Options{}))
+	defer worker.Close()
+	coord.Register("w1", worker.URL)
+
+	remote := captureStdout(t, func() error {
+		return run([]string{"-spec", spec, "-cluster", srv.URL, "-canonical", "-quiet"})
+	})
+
+	if local != remote {
+		t.Errorf("canonical output differs between local and cluster runs:\nlocal:\n%s\ncluster:\n%s", local, remote)
+	}
+	// 3 params × (2 simulate sizes + 1 size-independent stable) = 9 cells.
+	if n := strings.Count(local, "\n"); n != 10 {
+		t.Errorf("canonical stream has %d lines, want 9 cells + 1 summary", n)
+	}
+	if !strings.Contains(local, `"type":"summary"`) {
+		t.Error("canonical stream missing summary row")
+	}
+
+	// The worker actually executed the grid remotely.
+	if ws := coord.Members(); len(ws) != 1 || ws[0].CellsServed != 9 {
+		t.Errorf("worker stats: %+v", ws)
+	}
+}
+
+func TestCanonicalRejectsCSV(t *testing.T) {
+	spec := writeSpec(t, `{"kinds":["bounds"],"params":[3]}`)
+	if err := run([]string{"-spec", spec, "-canonical", "-format", "csv"}); err == nil {
+		t.Fatal("-canonical with -format csv must fail")
+	}
+}

@@ -8,24 +8,38 @@
 //	ppsweep -spec sweep.json                  # NDJSON rows to stdout
 //	ppsweep -spec sweep.json -format csv      # CSV rows to stdout
 //	ppsweep -spec - -workers 8 < sweep.json   # spec from stdin, 8 workers
+//	ppsweep -spec sweep.json -cluster http://coordinator:8080
 //
 // The spec format is documented in docs/api.md (the same document POST
 // /v1/sweep accepts); examples/sweep holds a runnable flock-of-birds
 // threshold sweep. Rows stream in completion order and carry the cell's
 // grid index, so interrupted output is still attributable; the aggregate
 // summary goes to stderr, keeping stdout machine-readable.
+//
+// With -cluster the sweep executes remotely: the spec is POSTed to the
+// coordinator's /v1/sweep and the streamed rows are re-emitted locally, so
+// output is identical in shape whether the grid ran in-process or fanned
+// out across a worker fleet. -canonical emits the deterministic comparison
+// form instead — index-sorted cells with volatile fields (timings, cache
+// flags) zeroed, then a canonical summary row — which is byte-identical
+// between a local run and a cluster run of the same spec.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +58,8 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		timeout  = fs.Duration("timeout", 0, "overall sweep deadline (0 = none)")
 		quiet    = fs.Bool("quiet", false, "suppress the stderr summary")
+		cluster  = fs.String("cluster", "", "coordinator base URL: run the sweep remotely via POST /v1/sweep")
+		canon    = fs.Bool("canonical", false, "emit canonical rows: index-sorted cells with volatile fields zeroed, then a canonical summary row (ndjson only; byte-comparable across local and cluster runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,12 +93,21 @@ func run(args []string) error {
 	}
 
 	var emit func(sweep.CellResult) error
-	switch *format {
-	case "ndjson":
+	var canonCells []sweep.CellResult
+	switch {
+	case *canon:
+		if *format != "ndjson" {
+			return fmt.Errorf("-canonical requires -format ndjson")
+		}
+		emit = func(cr sweep.CellResult) error {
+			canonCells = append(canonCells, sweep.CanonicalCell(cr))
+			return nil
+		}
+	case *format == "ndjson":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetEscapeHTML(false)
 		emit = func(cr sweep.CellResult) error { return enc.Encode(cr) }
-	case "csv":
+	case *format == "csv":
 		w := csv.NewWriter(os.Stdout)
 		defer w.Flush()
 		if err := w.Write(csvHeader); err != nil {
@@ -100,21 +125,92 @@ func run(args []string) error {
 	}
 
 	var emitErr error
-	res, err := sweep.Run(ctx, engine.New(), spec, sweep.RunOptions{
-		Workers: *workers,
-		OnCell: func(cr sweep.CellResult) {
-			if emitErr == nil {
-				emitErr = emit(cr)
-			}
-		},
-	})
+	onCell := func(cr sweep.CellResult) {
+		if emitErr == nil {
+			emitErr = emit(cr)
+		}
+	}
+	var res *sweep.Result
+	if *cluster != "" {
+		res, err = runCluster(ctx, strings.TrimSuffix(*cluster, "/"), data, onCell)
+	} else {
+		res, err = sweep.Run(ctx, engine.New(), spec, sweep.RunOptions{
+			Workers: *workers,
+			OnCell:  onCell,
+			// Canonical mode buffers cells itself; don't retain them twice.
+			DiscardCells: *canon,
+		})
+	}
 	if emitErr != nil {
 		return emitErr
+	}
+	if *canon && res != nil {
+		if cerr := emitCanonical(os.Stdout, canonCells, res); cerr != nil {
+			return cerr
+		}
 	}
 	if res != nil && !*quiet {
 		fmt.Fprintf(os.Stderr, "ppsweep: %s\n", summary(res))
 	}
 	return err
+}
+
+// runCluster executes the sweep on a coordinator: POST the spec, re-emit
+// the streamed cell rows, return the summary row's aggregate.
+func runCluster(ctx context.Context, base string, spec []byte, onCell func(sweep.CellResult)) (*sweep.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sweep", bytes.NewReader(spec))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, fmt.Errorf("cluster sweep: status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var res *sweep.Result
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var row sweep.StreamRow
+		if err := dec.Decode(&row); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return res, fmt.Errorf("cluster sweep: reading stream: %w", err)
+		}
+		switch row.Type {
+		case "cell":
+			if row.Cell != nil {
+				onCell(*row.Cell)
+			}
+		case "summary":
+			res = row.Summary
+		case "error":
+			return res, fmt.Errorf("cluster sweep: %s", row.Error)
+		}
+	}
+	if res == nil {
+		return nil, errors.New("cluster sweep: stream ended without a summary row")
+	}
+	return res, nil
+}
+
+// emitCanonical writes the deterministic comparison form: cells sorted by
+// grid index (completion order is a race), then the canonical summary.
+func emitCanonical(w io.Writer, cells []sweep.CellResult, res *sweep.Result) error {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Index < cells[j].Index })
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i := range cells {
+		if err := enc.Encode(sweep.StreamRow{Type: "cell", Cell: &cells[i]}); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(sweep.StreamRow{Type: "summary", Summary: sweep.CanonicalResult(res)})
 }
 
 // summary renders the aggregate result in one stderr line.

@@ -1,0 +1,247 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// integrationSpec is a 20-cell grid over four distinct protocols, so the
+// rendezvous router has real affinity groups to spread across workers.
+func integrationSpec() sweep.Spec {
+	return sweep.Spec{
+		Name:      "cluster-test",
+		Protocols: []sweep.ProtocolAxis{{Spec: "flock:{N}"}},
+		Params:    []sweep.ParamRange{{From: 3, To: 6}},
+		Kinds:     []engine.Kind{engine.KindSimulate, engine.KindVerify, engine.KindStable},
+		Sizes:     []sweep.Expr{sweep.Lit(6), sweep.Lit(7)},
+		Predicate: &sweep.PredicateTemplate{Kind: "counting", Threshold: sweep.ParamExpr(0, 0)},
+		Options:   sweep.Options{Seed: 11, ExactOracle: true},
+	}
+}
+
+// singleProcessReference runs the spec in one process and returns its
+// canonical cell lines (index order) and canonical summary line.
+func singleProcessReference(t *testing.T, spec sweep.Spec) ([]string, string) {
+	t.Helper()
+	var cells []sweep.CellResult
+	res, err := sweep.Run(context.Background(), engine.New(), spec, sweep.RunOptions{
+		Workers: 2,
+		OnCell:  func(cr sweep.CellResult) { cells = append(cells, sweep.CanonicalCell(cr)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Index < cells[j].Index })
+	return canonLines(t, cells), canonSummary(t, res)
+}
+
+func canonLines(t *testing.T, cells []sweep.CellResult) []string {
+	t.Helper()
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func canonSummary(t *testing.T, res *sweep.Result) string {
+	t.Helper()
+	b, err := json.Marshal(sweep.CanonicalResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// startWorker boots an in-process worker (the real serve handler on a real
+// HTTP server) and registers it with the coordinator. wrap optionally
+// intercepts the handler (fault injection).
+func startWorker(t *testing.T, coord *cluster.Coordinator, id string, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	var h http.Handler = serve.NewHandler(engine.New(), serve.Options{})
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	coord.Register(id, srv.URL)
+	return srv
+}
+
+// dispatchCanonical fans the spec out via the coordinator and returns the
+// canonical cell lines in stream order plus the canonical summary.
+func dispatchCanonical(t *testing.T, coord *cluster.Coordinator, spec sweep.Spec, opts cluster.DispatchOptions) ([]string, string) {
+	t.Helper()
+	var cells []sweep.CellResult
+	opts.LocalEngine = engine.New()
+	opts.OnCell = func(cr sweep.CellResult) { cells = append(cells, sweep.CanonicalCell(cr)) }
+	res, err := coord.Sweep(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i-1].Index >= cells[i].Index {
+			t.Fatalf("stream out of order: index %d then %d", cells[i-1].Index, cells[i].Index)
+		}
+	}
+	return canonLines(t, cells), canonSummary(t, res)
+}
+
+func assertEqualRuns(t *testing.T, wantCells []string, wantSummary string, gotCells []string, gotSummary string) {
+	t.Helper()
+	if len(gotCells) != len(wantCells) {
+		t.Fatalf("cell count: got %d, want %d", len(gotCells), len(wantCells))
+	}
+	for i := range wantCells {
+		if gotCells[i] != wantCells[i] {
+			t.Errorf("cell %d differs:\n got: %s\nwant: %s", i, gotCells[i], wantCells[i])
+		}
+	}
+	if gotSummary != wantSummary {
+		t.Errorf("summary differs:\n got: %s\nwant: %s", gotSummary, wantSummary)
+	}
+}
+
+// TestDispatchEqualsSingleProcess: a sweep fanned across two live workers
+// streams the same canonical cells in the same order and merges to the same
+// canonical summary as the single-process executor.
+func TestDispatchEqualsSingleProcess(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{})
+	startWorker(t, coord, "w1", nil)
+	startWorker(t, coord, "w2", nil)
+
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 3})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+
+	// Both workers stayed alive and between them served the whole grid.
+	served := 0
+	for _, w := range coord.Members() {
+		served += w.CellsServed
+	}
+	if served != len(wantCells) {
+		t.Errorf("workers served %d cells, want %d", served, len(wantCells))
+	}
+}
+
+// abortAfter kills the response stream (connection abort, not a clean
+// close) after n NDJSON rows — a worker crashing mid-range.
+type abortAfter struct {
+	http.ResponseWriter
+	rows, n int
+}
+
+func (a *abortAfter) Write(p []byte) (int, error) {
+	if a.rows >= a.n {
+		panic(http.ErrAbortHandler)
+	}
+	a.rows += bytes.Count(p, []byte("\n"))
+	return a.ResponseWriter.Write(p)
+}
+
+func (a *abortAfter) Unwrap() http.ResponseWriter { return a.ResponseWriter }
+
+// TestDispatchWorkerDeathMidSweep is the failure drill: one worker dies
+// after streaming 2 cells of its first range. The dispatcher must mark it
+// dead, retry the undelivered cells on the survivor, and still produce a
+// stream and summary byte-identical to the single-process run (the 2 cells
+// the dying worker already delivered are deduped, not re-executed).
+func TestDispatchWorkerDeathMidSweep(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{})
+	var died atomic.Bool // the first worker to receive a range dies, once
+	killer := func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" && died.CompareAndSwap(false, true) {
+				w = &abortAfter{ResponseWriter: w, n: 2}
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	startWorker(t, coord, "w1", killer)
+	startWorker(t, coord, "w2", killer)
+
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 5})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+
+	if !died.Load() {
+		t.Fatal("fault injection never fired")
+	}
+	// Exactly one worker was marked dead; the survivor carried the rest.
+	members := coord.Members()
+	if len(members) != 1 {
+		t.Fatalf("members after death: %d, want 1 survivor", len(members))
+	}
+	if members[0].CellsServed == 0 {
+		t.Error("survivor served no cells")
+	}
+}
+
+// TestDispatchNoWorkersRunsLocally: an empty membership degrades to the
+// local executor, still streaming in grid order with an equal canonical
+// result.
+func TestDispatchNoWorkersRunsLocally(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{})
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{LocalWorkers: 2})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+}
+
+// TestDispatchShedBackpressure: a worker that answers 503 + Retry-After is
+// not dead — the dispatcher waits out the delay and retries the same
+// worker, which then serves the range.
+func TestDispatchShedBackpressure(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{})
+	var sheds atomic.Int64
+	shedOnce := func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" && sheds.Add(1) == 1 {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	startWorker(t, coord, "w1", shedOnce)
+
+	start := time.Now()
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 8})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+
+	if sheds.Load() < 2 {
+		t.Fatalf("worker saw %d sweep requests, want the shed one plus a retry", sheds.Load())
+	}
+	if time.Since(start) < time.Second {
+		t.Error("dispatcher did not wait out Retry-After")
+	}
+	// The shed worker must still be a live member — 503 is backpressure.
+	if !coord.Alive("w1") {
+		t.Error("shed worker was marked dead")
+	}
+}

@@ -54,6 +54,12 @@ type Engine struct {
 	// and idle waiting never occupies capacity.
 	sem chan struct{}
 
+	// waiting counts goroutines blocked in acquire — the queue behind the
+	// slot semaphore. Transports use it (via SlotStats) for admission
+	// control: shedding new work when the queue is deep beats queueing
+	// unboundedly.
+	waiting atomic.Int64
+
 	mu       sync.Mutex
 	cache    map[string]*artifacts
 	maxCache int
@@ -173,12 +179,42 @@ func (e *Engine) countCompute() {
 // acquire claims an execution slot, or gives up when ctx ends first. Hold
 // slots only while burning CPU — never while waiting.
 func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	e.waiting.Add(1)
+	defer e.waiting.Add(-1)
+	// The release closure captures the semaphore it acquired from, so a
+	// later SetSlots cannot misroute an in-flight release.
+	e.mu.Lock()
+	sem := e.sem
+	e.mu.Unlock()
 	select {
-	case e.sem <- struct{}{}:
-		return func() { <-e.sem }, nil
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// SetSlots resizes the execution-slot semaphore (minimum 1). Call it before
+// serving traffic: requests already waiting on the old semaphore keep its
+// capacity until they drain.
+func (e *Engine) SetSlots(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	e.sem = make(chan struct{}, n)
+	e.mu.Unlock()
+}
+
+// SlotStats reports the execution-slot semaphore's instantaneous state:
+// busy slots, total capacity, and the number of goroutines queued behind
+// it. Transports use it for load shedding — when busy == capacity and
+// queued is deep, failing fast with Retry-After beats queueing unboundedly.
+func (e *Engine) SlotStats() (busy, capacity, queued int) {
+	e.mu.Lock()
+	sem := e.sem
+	e.mu.Unlock()
+	return len(sem), cap(sem), int(e.waiting.Load())
 }
 
 // Resolve materialises a protocol reference: a registry spec, or an inline

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// mountCluster adds the coordinator's membership endpoints:
+//
+//	POST /v1/cluster/register    {id, url} → {ttlMillis, epoch}
+//	POST /v1/cluster/heartbeat   {id, drain} → {ttlMillis, epoch} | 404
+//	POST /v1/cluster/deregister  {id} → {} (idempotent)
+//	GET  /v1/cluster/members     → {workers: [...]}
+func mountCluster(mux *http.ServeMux, opts Options) {
+	coord := opts.Cluster
+	mux.HandleFunc("POST /v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.RegisterRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+			return
+		}
+		if req.ID == "" || !strings.HasPrefix(req.URL, "http") {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "register requires id and an http(s) url"})
+			return
+		}
+		wk := coord.Register(req.ID, strings.TrimSuffix(req.URL, "/"))
+		opts.RequestLog.Info("cluster member registered",
+			"worker", wk.ID, "url", wk.URL, "epoch", wk.Epoch)
+		writeJSON(w, http.StatusOK, cluster.Lease{
+			TTLMillis: coord.TTL().Milliseconds(),
+			Epoch:     wk.Epoch,
+		})
+	})
+	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.HeartbeatRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+			return
+		}
+		wk, err := coord.Heartbeat(req.ID, req.Drain)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+			return
+		}
+		if req.Drain {
+			opts.RequestLog.Info("cluster member draining", "worker", wk.ID)
+		}
+		writeJSON(w, http.StatusOK, cluster.Lease{
+			TTLMillis: coord.TTL().Milliseconds(),
+			Epoch:     wk.Epoch,
+		})
+	})
+	mux.HandleFunc("POST /v1/cluster/deregister", func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.HeartbeatRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+			return
+		}
+		coord.Deregister(req.ID)
+		opts.RequestLog.Info("cluster member deregistered", "worker", req.ID)
+		writeJSON(w, http.StatusOK, struct{}{})
+	})
+	mux.HandleFunc("GET /v1/cluster/members", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]cluster.Worker{"workers": coord.Members()})
+	})
+}

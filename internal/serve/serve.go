@@ -25,10 +25,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/protocols"
 	"repro/internal/sweep"
@@ -50,6 +52,25 @@ type Options struct {
 	// NewHandler; parallel analyses are bit-identical to sequential ones,
 	// so the artifact cache is unaffected by the setting.
 	StableWorkers int
+	// Cluster, when set, makes this handler a cluster coordinator: the
+	// membership endpoints (/v1/cluster/*) are mounted and /v1/sweep fans
+	// out across the registered workers (falling back to local execution
+	// when none are live).
+	Cluster *cluster.Coordinator
+	// ClusterDispatch tunes coordinator fan-out (range size, deadlines,
+	// attempts). LocalEngine, OnCell and the stream wiring are always
+	// supplied by the handler.
+	ClusterDispatch cluster.DispatchOptions
+	// RequestLog, when set, emits one structured line per request (kind,
+	// protocol hash, duration, status, cache hit) and per cluster
+	// membership event.
+	RequestLog *slog.Logger
+	// MaxQueue bounds admission when every engine execution slot is busy:
+	// once MaxQueue requests are already waiting for a slot, further
+	// /v1/analyze and local /v1/sweep requests are shed with 503 +
+	// Retry-After instead of queueing without bound. 0 means twice the slot
+	// capacity; -1 disables shedding.
+	MaxQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,7 +86,34 @@ func (o Options) withDefaults() Options {
 	if o.SweepTimeout <= 0 {
 		o.SweepTimeout = 10 * time.Minute
 	}
+	if o.RequestLog == nil {
+		o.RequestLog = slog.New(slog.DiscardHandler)
+	}
 	return o
+}
+
+// shed applies fail-fast admission control: when every engine execution
+// slot is busy and the waiting queue is at its bound, the request is
+// answered 503 + Retry-After immediately instead of queueing without
+// bound. The cluster dispatcher understands the 503 as backpressure and
+// retries the range on the same worker after the delay.
+func shed(eng *engine.Engine, opts Options, w http.ResponseWriter) bool {
+	if opts.MaxQueue < 0 {
+		return false
+	}
+	busy, capacity, queued := eng.SlotStats()
+	maxQueue := opts.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 2 * capacity
+	}
+	if busy < capacity || queued < maxQueue {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		Error: fmt.Sprintf("saturated: %d/%d slots busy, %d queued", busy, capacity, queued),
+	})
+	return true
 }
 
 // errorBody is the JSON error envelope.
@@ -119,6 +167,9 @@ func NewHandler(eng *engine.Engine, opts Options) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if opts.Cluster != nil {
+		mountCluster(mux, opts)
+	}
 	return mux
 }
 
@@ -127,6 +178,10 @@ func handleAnalyze(eng *engine.Engine, opts Options, w http.ResponseWriter, r *h
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if shed(eng, opts, w) {
+		opts.RequestLog.Warn("request shed", "path", "/v1/analyze", "kind", req.Kind)
 		return
 	}
 
@@ -143,31 +198,48 @@ func handleAnalyze(eng *engine.Engine, opts Options, w http.ResponseWriter, r *h
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	start := time.Now()
 	res, err := eng.Do(ctx, req)
+	status := http.StatusOK
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, res)
 	case errors.Is(err, engine.ErrBadRequest):
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		status = http.StatusBadRequest
+		writeJSON(w, status, errorBody{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		status = http.StatusGatewayTimeout
+		writeJSON(w, status, errorBody{Error: err.Error()})
 	case errors.Is(err, context.Canceled):
 		// The client went away; nothing useful to write.
+		status = 0
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		status = http.StatusInternalServerError
+		writeJSON(w, status, errorBody{Error: err.Error()})
 	}
+
+	attrs := []any{
+		"path", "/v1/analyze",
+		"kind", req.Kind,
+		"status", status,
+		"durationMillis", time.Since(start).Milliseconds(),
+	}
+	if res != nil {
+		if res.Protocol != nil {
+			attrs = append(attrs, "protocol", res.Protocol.Hash)
+		}
+		attrs = append(attrs, "cacheHit", res.CacheHit)
+	}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+	}
+	opts.RequestLog.Info("analyze", attrs...)
 }
 
-// SweepRow is one NDJSON row of a /v1/sweep response stream. Type is
-// "cell" for per-cell rows (Cell set), "summary" for the final aggregate
-// row (Summary set, its Cells field omitted — the stream already carried
-// them), and "error" for a mid-stream failure (Error set).
-type SweepRow struct {
-	Type    string            `json:"type"`
-	Cell    *sweep.CellResult `json:"cell,omitempty"`
-	Summary *sweep.Result     `json:"summary,omitempty"`
-	Error   string            `json:"error,omitempty"`
-}
+// SweepRow is one NDJSON row of a /v1/sweep response stream; see
+// sweep.StreamRow (the type moved so the cluster dispatcher can speak the
+// same wire format without importing this package).
+type SweepRow = sweep.StreamRow
 
 // handleSweep streams a sweep: the spec is validated and expanded up
 // front (client errors are plain 400 JSON), then rows flow as cells
@@ -185,6 +257,15 @@ func handleSweep(eng *engine.Engine, opts Options, w http.ResponseWriter, r *htt
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	mode := "local"
+	if opts.Cluster != nil {
+		mode = "cluster"
+	} else if shed(eng, opts, w) {
+		// Coordinators never shed sweeps: fan-out is network-bound, and the
+		// workers' own 503s already backpressure the dispatcher.
+		opts.RequestLog.Warn("request shed", "path", "/v1/sweep", "sweep", spec.Name)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), opts.SweepTimeout)
 	defer cancel()
 
@@ -199,23 +280,50 @@ func handleSweep(eng *engine.Engine, opts Options, w http.ResponseWriter, r *htt
 		_ = enc.Encode(row)
 		_ = rc.Flush()
 	}
+	onCell := func(cr sweep.CellResult) { writeRow(SweepRow{Type: "cell", Cell: &cr}) }
 
-	// DiscardCells keeps server memory flat on huge grids: each cell was
-	// already streamed, so the summary row carries aggregates only.
-	res, err := sweep.Run(ctx, eng, spec, sweep.RunOptions{
-		Workers:      opts.SweepWorkers,
-		DiscardCells: true,
-		OnCell:       func(cr sweep.CellResult) { writeRow(SweepRow{Type: "cell", Cell: &cr}) },
-	})
+	start := time.Now()
+	var res *sweep.Result
+	if opts.Cluster != nil {
+		dopts := opts.ClusterDispatch
+		dopts.LocalEngine = eng
+		dopts.LocalWorkers = opts.SweepWorkers
+		dopts.DiscardCells = true
+		dopts.OnCell = onCell
+		if dopts.Log == nil {
+			dopts.Log = opts.RequestLog
+		}
+		res, err = opts.Cluster.Sweep(ctx, spec, dopts)
+	} else {
+		// DiscardCells keeps server memory flat on huge grids: each cell was
+		// already streamed, so the summary row carries aggregates only.
+		res, err = sweep.Run(ctx, eng, spec, sweep.RunOptions{
+			Workers:      opts.SweepWorkers,
+			DiscardCells: true,
+			OnCell:       onCell,
+		})
+	}
 	if res == nil {
 		// Only reachable if re-expansion fails, which ParseSpec precludes;
 		// report it as a stream row since the 200 header is already out.
 		writeRow(SweepRow{Type: "error", Error: err.Error()})
+		opts.RequestLog.Info("sweep", "path", "/v1/sweep", "sweep", spec.Name,
+			"mode", mode, "status", http.StatusOK, "error", err.Error())
 		return
 	}
 	// On cancellation or timeout the partial summary still goes out
 	// (harmless if the client is gone).
 	writeRow(SweepRow{Type: "summary", Summary: res})
+	opts.RequestLog.Info("sweep",
+		"path", "/v1/sweep",
+		"sweep", spec.Name,
+		"mode", mode,
+		"cells", res.TotalCells,
+		"completed", res.Completed,
+		"failed", res.Failed,
+		"status", http.StatusOK,
+		"durationMillis", time.Since(start).Milliseconds(),
+	)
 }
 
 func handleCatalog(eng *engine.Engine, w http.ResponseWriter) {

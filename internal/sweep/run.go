@@ -168,7 +168,7 @@ func Run(ctx context.Context, eng *engine.Engine, spec Spec, opts RunOptions) (*
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
-				results <- runCell(ctx, eng, spec, c)
+				results <- RunCell(ctx, eng, spec, c)
 			}
 		}()
 	}
@@ -177,37 +177,14 @@ func Run(ctx context.Context, eng *engine.Engine, spec Spec, opts RunOptions) (*
 		close(results)
 	}()
 
-	res := &Result{
-		Name:       spec.Name,
-		TotalCells: len(cells),
-		Workers:    workers,
-		ByKind:     make(map[engine.Kind]*KindStats),
-	}
-	// Percentile sources are collected incrementally, so discarding cells
-	// keeps memory flat without losing the aggregates.
-	var interactions, parallel []float64
+	col := NewCollector(spec.Name, len(cells), workers, opts.DiscardCells)
 	for cr := range results {
-		res.record(cr, opts.DiscardCells)
-		if s := simOf(cr); s != nil {
-			switch {
-			case s.Estimate != nil:
-				// Multi-run cells execute on the replica executor
-				// (sim.RunReplicas via the engine); its aggregate carries
-				// the per-run means that feed both percentile sources.
-				if s.Estimate.Converged > 0 {
-					parallel = append(parallel, s.Estimate.MeanParallel)
-					interactions = append(interactions, s.Estimate.MeanInteractions)
-				}
-			case s.Converged:
-				interactions = append(interactions, float64(s.Interactions))
-				parallel = append(parallel, s.ParallelTime)
-			}
-		}
+		col.Add(cr)
 		if opts.OnCell != nil {
 			opts.OnCell(cr)
 		}
 	}
-	res.finish(time.Since(start), interactions, parallel)
+	res := col.Finish(time.Since(start))
 	if err := ctx.Err(); err != nil && res.Completed < res.TotalCells {
 		res.Cancelled = true
 		return res, err
@@ -215,8 +192,68 @@ func Run(ctx context.Context, eng *engine.Engine, spec Spec, opts RunOptions) (*
 	return res, nil
 }
 
-// runCell executes one cell and condenses its outcome.
-func runCell(ctx context.Context, eng *engine.Engine, spec Spec, c Cell) CellResult {
+// Collector folds completed cells into an aggregate Result incrementally,
+// in any arrival order: the aggregates are order-independent, and Finish
+// sorts retained cells back into grid order. It is the single aggregation
+// path — the local executor (Run) and the cluster coordinator's merger both
+// fold through it, which is what makes a fanned-out sweep's summary equal
+// the single-process one. Not safe for concurrent use; serialize Add calls.
+type Collector struct {
+	res     *Result
+	discard bool
+	// Percentile sources are collected incrementally, so discarding cells
+	// keeps memory flat without losing the aggregates.
+	interactions, parallel []float64
+}
+
+// NewCollector starts an aggregate over a grid of totalCells. discard
+// leaves Result.Cells empty (for consumers that stream cells elsewhere).
+func NewCollector(name string, totalCells, workers int, discard bool) *Collector {
+	return &Collector{
+		res: &Result{
+			Name:       name,
+			TotalCells: totalCells,
+			Workers:    workers,
+			ByKind:     make(map[engine.Kind]*KindStats),
+		},
+		discard: discard,
+	}
+}
+
+// Add folds one completed cell into the aggregate.
+func (col *Collector) Add(cr CellResult) {
+	col.res.record(cr, col.discard)
+	if s := simOf(cr); s != nil {
+		switch {
+		case s.Estimate != nil:
+			// Multi-run cells execute on the replica executor
+			// (sim.RunReplicas via the engine); its aggregate carries
+			// the per-run means that feed both percentile sources.
+			if s.Estimate.Converged > 0 {
+				col.parallel = append(col.parallel, s.Estimate.MeanParallel)
+				col.interactions = append(col.interactions, s.Estimate.MeanInteractions)
+			}
+		case s.Converged:
+			col.interactions = append(col.interactions, float64(s.Interactions))
+			col.parallel = append(col.parallel, s.ParallelTime)
+		}
+	}
+}
+
+// Completed reports how many cells have been folded in so far.
+func (col *Collector) Completed() int { return col.res.Completed }
+
+// Finish seals the aggregate: cells sort back into grid order and the
+// percentile statistics are computed. The collector must not be used again.
+func (col *Collector) Finish(wall time.Duration) *Result {
+	col.res.finish(wall, col.interactions, col.parallel)
+	return col.res
+}
+
+// RunCell executes one expanded cell against eng and condenses its outcome
+// — the single-cell unit of work behind Run, exported so a cluster
+// coordinator's local fallback executes cells identically to a worker.
+func RunCell(ctx context.Context, eng *engine.Engine, spec Spec, c Cell) CellResult {
 	cr := CellResult{
 		Index:    c.Index,
 		Protocol: c.Protocol,

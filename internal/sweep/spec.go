@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -392,6 +393,69 @@ type Spec struct {
 	// AbsoluteMaxCells). Expansion fails loudly when the cross product
 	// exceeds it — a sweep never silently truncates its grid.
 	MaxCells int `json:"maxCells,omitempty"`
+	// Cells, when non-empty, selects a slice of the expanded grid by cell
+	// index: only cells whose index falls inside one of the (inclusive)
+	// ranges execute. Indices, per-cell seeds and results are exactly those
+	// of the full grid — a sweep split into disjoint ranges and re-merged
+	// equals the unsplit sweep cell for cell — so grid indices double as
+	// resumable cell IDs, and a cluster coordinator can partition one spec
+	// across workers and retry any slice elsewhere.
+	Cells []IndexRange `json:"cells,omitempty"`
+}
+
+// IndexRange selects the inclusive grid-index range [From, To].
+type IndexRange struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Ranges compresses a set of cell indices (any order, duplicates ignored)
+// into the minimal sorted list of maximal inclusive ranges — the Spec.Cells
+// form of that selection.
+func Ranges(indices []int) []IndexRange {
+	if len(indices) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), indices...)
+	sort.Ints(sorted)
+	var out []IndexRange
+	for _, i := range sorted {
+		if n := len(out); n > 0 && i <= out[n-1].To+1 {
+			if i > out[n-1].To {
+				out[n-1].To = i
+			}
+			continue
+		}
+		out = append(out, IndexRange{From: i, To: i})
+	}
+	return out
+}
+
+// normalizeRanges validates a cells selection and returns it sorted with
+// overlapping and adjacent ranges merged (nil for an empty selection).
+func normalizeRanges(rs []IndexRange) ([]IndexRange, error) {
+	if len(rs) == 0 {
+		return nil, nil
+	}
+	sorted := append([]IndexRange(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+	var out []IndexRange
+	for _, r := range sorted {
+		switch {
+		case r.From < 0:
+			return nil, badSpec("cells range [%d, %d] has a negative index", r.From, r.To)
+		case r.To < r.From:
+			return nil, badSpec("cells range [%d, %d] is inverted", r.From, r.To)
+		}
+		if n := len(out); n > 0 && r.From <= out[n-1].To+1 {
+			if r.To > out[n-1].To {
+				out[n-1].To = r.To
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // ParseSpec decodes and validates a JSON sweep spec. Unknown fields are
@@ -481,10 +545,18 @@ func (s Spec) expand(sink func(Cell)) error {
 	if err := validKinds(s.Kinds); err != nil {
 		return err
 	}
+	sel, err := normalizeRanges(s.Cells)
+	if err != nil {
+		return err
+	}
 
 	// emit assigns grid indices, enforces the cap, and derives per-cell
-	// seeds for randomized kinds (decorrelated but reproducible).
+	// seeds for randomized kinds (decorrelated but reproducible). Index
+	// assignment and seed derivation always walk the full grid; a cells
+	// selection only filters what reaches the sink, so a selected slice is
+	// cell-identical to its counterpart in the unselected sweep.
 	next := 0
+	si := 0
 	emit := func(c Cell) error {
 		if next >= maxCells {
 			return capError(maxCells, s.MaxCells)
@@ -495,13 +567,24 @@ func (s Spec) expand(sink func(Cell)) error {
 		case engine.KindSimulate, engine.KindCertifyChain, engine.KindCertifyLeaderless:
 			c.Request.Seed = s.Options.Seed + uint64(c.Index)*seedStride
 		}
+		if sel != nil {
+			for si < len(sel) && sel[si].To < c.Index {
+				si++
+			}
+			if si >= len(sel) || c.Index < sel[si].From {
+				return nil
+			}
+		}
 		sink(c)
 		return nil
 	}
 
 	// Protocol-free sweeps: only bounds cells, one per parameter.
 	if len(s.Protocols) == 0 {
-		return s.expandProtocolFree(params, emit)
+		if err := s.expandProtocolFree(params, emit); err != nil {
+			return err
+		}
+		return checkSelection(sel, next)
 	}
 	for i, entry := range s.Protocols {
 		if err := s.expandEntry(i, entry, params, emit); err != nil {
@@ -510,6 +593,19 @@ func (s Spec) expand(sink func(Cell)) error {
 	}
 	if next == 0 {
 		return badSpec("grid is empty (no protocols, params, kinds or sizes produce a cell)")
+	}
+	return checkSelection(sel, next)
+}
+
+// checkSelection rejects a cells selection reaching past the grid, so a
+// coordinator addressing stale indices fails loudly instead of silently
+// running a truncated slice.
+func checkSelection(sel []IndexRange, gridSize int) error {
+	if len(sel) == 0 {
+		return nil
+	}
+	if last := sel[len(sel)-1].To; last >= gridSize {
+		return badSpec("cells selection ends at index %d but the grid has %d cells", last, gridSize)
 	}
 	return nil
 }

@@ -1,0 +1,55 @@
+package sweep
+
+import "repro/internal/engine"
+
+// StreamRow is one NDJSON row of a streamed sweep (the POST /v1/sweep
+// response, and the coordinator↔worker wire format of the cluster
+// dispatcher). Type is "cell" for per-cell rows (Cell set), "summary" for
+// the final aggregate row (Summary set, its Cells field omitted — the
+// stream already carried them), and "error" for a mid-stream failure
+// (Error set).
+type StreamRow struct {
+	Type    string      `json:"type"`
+	Cell    *CellResult `json:"cell,omitempty"`
+	Summary *Result     `json:"summary,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// CanonicalCell returns a copy of a cell result with its volatile fields —
+// wall-clock timings and cache-hit flags, which legitimately differ between
+// runs and between executors — zeroed. Everything analysis-determined
+// (verdicts, statistics, seed-driven simulation outcomes) is preserved, so
+// two canonical cells are byte-identical exactly when the analyses agreed.
+func CanonicalCell(cr CellResult) CellResult {
+	cr.ElapsedMillis = 0
+	cr.CacheHit = false
+	if cr.Result != nil {
+		r := *cr.Result
+		r.ElapsedMillis = 0
+		r.CacheHit = false
+		cr.Result = &r
+	}
+	return cr
+}
+
+// CanonicalResult returns a copy of an aggregate result with its volatile
+// fields zeroed: wall-clock time, worker-pool size, cache-hit counters, and
+// the retained cells (the canonical stream already carries them as rows).
+// A sweep fanned out across a cluster and the same sweep run in one process
+// produce byte-identical canonical results.
+func CanonicalResult(res *Result) *Result {
+	if res == nil {
+		return nil
+	}
+	c := *res
+	c.WallMillis = 0
+	c.Workers = 0
+	c.Cells = nil
+	c.ByKind = make(map[engine.Kind]*KindStats, len(res.ByKind))
+	for k, ks := range res.ByKind {
+		cp := *ks
+		cp.CacheHits = 0
+		c.ByKind[k] = &cp
+	}
+	return &c
+}

@@ -36,7 +36,8 @@ render() {
       -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
       -v goversion="$(go version | awk '{print $3}')" \
       -v benchtime="$benchtime" \
-      -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}" '
+      -v maxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}" \
+      -v hostcpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)" '
 BEGIN { n = 0 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
@@ -68,6 +69,7 @@ END {
   print "  \"go\": \"" goversion "\","
   print "  \"cpu\": \"" cpu "\","
   print "  \"gomaxprocs\": " maxprocs ","
+  print "  \"host_cpus\": " hostcpus ","
   print "  \"benchtime\": \"" benchtime "\","
   print "  \"notes\": \"" notes "\","
   print "  \"benchmarks\": ["
