@@ -8,6 +8,7 @@
 //	ppserve                          # listen on :8080
 //	ppserve -addr 127.0.0.1:9000 -timeout 10s -max-timeout 1m -sweep-timeout 30m
 //	ppserve -pprof localhost:6060    # opt-in net/http/pprof for profiling
+//	ppserve -metrics localhost:9090  # /metrics on its own scrape address too
 //	ppserve -coordinator             # cluster coordinator: fans sweeps out
 //	ppserve -worker -join http://coordinator:8080   # cluster worker
 //
@@ -17,6 +18,7 @@
 //	POST /v1/sweep     sweep spec in, NDJSON stream out (one row per cell)
 //	GET  /v1/catalog   resolvable specs + built-in protocol zoo
 //	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text exposition (engine, serve, cluster collectors)
 //	POST /v1/cluster/register, /v1/cluster/heartbeat, /v1/cluster/deregister
 //	GET  /v1/cluster/members        (coordinator mode only)
 //
@@ -57,6 +59,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
@@ -72,6 +75,7 @@ func run(args []string) error {
 		sweepWorkers  = fs.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
 		stableWorkers = fs.Int("stable-workers", 0, "goroutines per stable-set analysis fixpoint (0 = sequential; results are bit-identical)")
 		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty = disabled")
+		metricsAddr   = fs.String("metrics", "", "additionally serve GET /metrics on its own address (e.g. localhost:9090); the API address always serves /metrics")
 		slots         = fs.Int("slots", 0, "engine execution slots (0 = GOMAXPROCS)")
 		maxQueue      = fs.Int("max-queue", 0, "waiting requests before 503 shedding kicks in (0 = 2x slots, -1 = never shed)")
 		logRequests   = fs.Bool("log-requests", false, "emit one structured log line per request on stderr")
@@ -110,6 +114,15 @@ func run(args []string) error {
 	if *slots > 0 {
 		eng.SetSlots(*slots)
 	}
+	reg := metrics.NewRegistry()
+	if *metricsAddr != "" {
+		mln, err := startMetrics(*metricsAddr, reg)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer mln.Close()
+	}
 	opts := serve.Options{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
@@ -117,6 +130,7 @@ func run(args []string) error {
 		SweepWorkers:   *sweepWorkers,
 		StableWorkers:  *stableWorkers,
 		MaxQueue:       *maxQueue,
+		Metrics:        reg,
 	}
 	var logger *slog.Logger
 	if *logRequests {
@@ -197,6 +211,26 @@ func startPprof(addr string) (net.Listener, error) {
 		}
 	}()
 	return pln, nil
+}
+
+// startMetrics serves the Prometheus exposition on its own listener —
+// -pprof's pattern, for deployments that keep the scrape target off the
+// API address. NewHandler registers the collectors into reg; the dedicated
+// listener serves the same registry.
+func startMetrics(addr string, reg *metrics.Registry) (net.Listener, error) {
+	mln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "ppserve: metrics on http://%s/metrics\n", mln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	go func() {
+		if err := http.Serve(mln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintf(os.Stderr, "ppserve: metrics server: %v\n", err)
+		}
+	}()
+	return mln, nil
 }
 
 // serveOn runs the daemon on an existing listener until ctx is cancelled,

@@ -206,6 +206,11 @@ func (d *dispatcher) enqueueLocked(t *task) {
 	if t.attempts < d.opts.MaxAttempts {
 		w, ok = route(t.hash, d.coord.Live())
 	}
+	routed := LocalWorkerLabel
+	if ok {
+		routed = w.ID
+	}
+	d.coord.metrics.CellsRouted.WithLabelValues(routed).Add(float64(len(t.cells)))
 	if !ok {
 		d.localQ = append(d.localQ, t)
 		if !d.localDriving {
@@ -243,6 +248,7 @@ func (d *dispatcher) drive(id string) {
 				orphans := d.queues[id]
 				delete(d.queues, id)
 				d.driving[id] = false
+				d.coord.metrics.RangesOrphaned.WithLabelValues(id).Add(float64(len(orphans)))
 				for _, t := range orphans {
 					d.enqueueLocked(t)
 				}
@@ -259,6 +265,7 @@ func (d *dispatcher) drive(id string) {
 		w := d.info[id]
 		d.mu.Unlock()
 
+		d.coord.metrics.RangesDispatched.WithLabelValues(id).Inc()
 		served, missing, err := d.runTask(w, t)
 		var shed *shedError
 		switch {
@@ -295,7 +302,7 @@ func (d *dispatcher) drive(id string) {
 			d.coord.recordRange(id, served, false)
 			d.opts.Log.Warn("cluster sweep: range returned short",
 				"worker", id, "missing", len(missing))
-			d.requeue(t, missing)
+			d.requeue(id, t, missing)
 		default:
 			d.coord.recordRange(id, served, false)
 			d.failTask(id, t, missing, err)
@@ -309,15 +316,17 @@ func (d *dispatcher) failTask(id string, t *task, missing []sweep.Cell, err erro
 	d.opts.Log.Warn("cluster sweep: range failed, retrying on survivors",
 		"worker", id, "cells", len(missing), "attempt", t.attempts+1, "error", err)
 	d.coord.MarkDead(id)
-	d.requeue(t, missing)
+	d.requeue(id, t, missing)
 }
 
 // requeue re-enqueues the unfinished cells of a task as a fresh range with
-// one more attempt on the clock.
-func (d *dispatcher) requeue(t *task, missing []sweep.Cell) {
+// one more attempt on the clock, counting the retry against the worker
+// whose attempt fell short.
+func (d *dispatcher) requeue(id string, t *task, missing []sweep.Cell) {
 	if len(missing) == 0 {
 		return
 	}
+	d.coord.metrics.RangesRetried.WithLabelValues(id).Inc()
 	nt := &task{hash: t.hash, cells: missing, attempts: t.attempts + 1}
 	d.mu.Lock()
 	d.enqueueLocked(nt)
@@ -345,6 +354,7 @@ func (d *dispatcher) driveLocal() {
 		d.localQ = d.localQ[1:]
 		d.mu.Unlock()
 
+		d.coord.metrics.RangesDispatched.WithLabelValues(LocalWorkerLabel).Inc()
 		d.opts.Log.Info("cluster sweep: executing range locally", "cells", len(t.cells))
 		for _, c := range t.cells {
 			if d.ctx.Err() != nil {

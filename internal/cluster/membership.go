@@ -95,6 +95,10 @@ type Coordinator struct {
 	// epochs outlives workers: a lease expiry prunes the membership record,
 	// but the next registration of the same ID must still read as a rejoin.
 	epochs map[string]uint64
+
+	// metrics instruments membership and dispatch; see metrics.go. Always
+	// non-nil.
+	metrics *Metrics
 }
 
 // NewCoordinator returns an empty membership.
@@ -105,12 +109,14 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		ttl:     opts.TTL,
 		now:     opts.Now,
 		workers: make(map[string]*Worker),
 		epochs:  make(map[string]uint64),
 	}
+	c.metrics = newClusterMetrics(c)
+	return c
 }
 
 // TTL returns the worker lease duration.
@@ -156,11 +162,15 @@ func (c *Coordinator) Heartbeat(id string, drain bool) (Worker, error) {
 }
 
 // Deregister removes a worker immediately (the graceful-exit path). Unknown
-// IDs are a no-op.
+// IDs are a no-op and do not count as a deregistration.
 func (c *Coordinator) Deregister(id string) {
 	c.mu.Lock()
+	_, known := c.workers[id]
 	delete(c.workers, id)
 	c.mu.Unlock()
+	if known {
+		c.metrics.Deregistrations.Inc()
+	}
 }
 
 // MarkDead removes a worker that failed a dispatch — its lease is not
@@ -221,6 +231,7 @@ func (c *Coordinator) recordRange(id string, cells int, ok bool) {
 		w.RangesFailed++
 	}
 	w.CellsServed += cells
+	c.metrics.CellsServed.WithLabelValues(id).Add(float64(cells))
 }
 
 // pruneLocked drops workers whose lease expired. Callers hold c.mu.

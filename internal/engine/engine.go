@@ -70,6 +70,10 @@ type Engine struct {
 	// many goroutines (0/1 = sequential; the result is bit-identical either
 	// way, so cached artifacts are oblivious to the setting).
 	stableWorkers int
+
+	// metrics instruments the request path and artifact cache; see
+	// metrics.go. Always non-nil.
+	metrics *Metrics
 }
 
 // memo is a once-per-engine artifact computation: the first arrival flips
@@ -109,12 +113,14 @@ func NewWithRegistry(reg *protocols.Registry) *Engine {
 	if reg == nil {
 		reg = protocols.DefaultRegistry()
 	}
-	return &Engine{
+	e := &Engine{
 		reg:      reg,
 		sem:      make(chan struct{}, max(2, runtime.NumCPU())),
 		cache:    make(map[string]*artifacts),
 		maxCache: defaultMaxCachedProtocols,
 	}
+	e.metrics = newEngineMetrics(e)
+	return e
 }
 
 // SetCacheLimit bounds the number of protocols with cached artifacts
@@ -256,6 +262,22 @@ func Hash(p *protocol.Protocol) (string, error) {
 // Request.TimeoutMillis, when set, tightens it further. On timeout the
 // returned error wraps context.DeadlineExceeded.
 func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
+	kind := string(req.Kind)
+	if !req.Kind.Valid() {
+		kind = "invalid"
+	}
+	start := time.Now()
+	res, err := e.do(ctx, req)
+	status := requestStatus(err)
+	e.metrics.Requests.WithLabelValues(kind, status).Inc()
+	e.metrics.Latency.WithLabelValues(kind).Observe(time.Since(start).Seconds())
+	if status == statusInterrupted {
+		e.metrics.Interrupted.Inc()
+	}
+	return res, err
+}
+
+func (e *Engine) do(ctx context.Context, req Request) (*Result, error) {
 	if !req.Kind.Valid() {
 		return nil, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, req.Kind)
 	}
@@ -374,6 +396,7 @@ func (e *Engine) artifactsFor(hash string) *artifacts {
 		for len(e.cache) >= e.maxCache {
 			for k := range e.cache {
 				delete(e.cache, k)
+				e.metrics.CacheEvictions.Inc()
 				break
 			}
 		}
@@ -394,6 +417,11 @@ func (e *Engine) countLookup(hit bool) {
 		e.misses++
 	}
 	e.mu.Unlock()
+	if hit {
+		e.metrics.CacheHits.Inc()
+	} else {
+		e.metrics.CacheMisses.Inc()
+	}
 }
 
 // evictIfCurrent drops an artifact slot, but only if it is still the one
@@ -401,10 +429,14 @@ func (e *Engine) countLookup(hit bool) {
 // replacement another request already started).
 func (e *Engine) evictIfCurrent(hash string, a *artifacts) {
 	e.mu.Lock()
-	if e.cache[hash] == a {
+	evicted := e.cache[hash] == a
+	if evicted {
 		delete(e.cache, hash)
 	}
 	e.mu.Unlock()
+	if evicted {
+		e.metrics.CacheEvictions.Inc()
+	}
 }
 
 // stableFor memoizes the stable-set analysis of a protocol. The second

@@ -1,0 +1,191 @@
+package metrics_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/metrics/testutil"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	c := metrics.NewCounter(metrics.Opts{Namespace: "t", Name: "hits_total", Help: "hits"})
+	c.Inc()
+	c.Add(2.5)
+	if got := testutil.ToFloat64(c); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Add must panic")
+			}
+		}()
+		c.Add(-1)
+	}()
+
+	g := metrics.NewGauge(metrics.Opts{Namespace: "t", Name: "depth", Help: "depth"})
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := testutil.ToFloat64(g); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+
+	gf := metrics.NewGaugeFunc(metrics.Opts{Namespace: "t", Name: "live"}, func() float64 { return 42 })
+	if got := testutil.ToFloat64(gf); got != 42 {
+		t.Errorf("gauge func = %v, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := metrics.NewCounter(metrics.Opts{Name: "n_total"})
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 1000 {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("concurrent counter = %v, want 8000", got)
+	}
+}
+
+func TestVecChildrenAndExposition(t *testing.T) {
+	cv := metrics.NewCounterVec(metrics.Opts{Namespace: "t", Name: "req_total", Help: "requests"},
+		[]string{"kind", "status"})
+	cv.WithLabelValues("simulate", "ok").Add(3)
+	cv.WithLabelValues("verify", "error").Inc()
+	cv.WithLabelValues("simulate", "ok").Inc() // same child again
+
+	want := `
+		# HELP t_req_total requests
+		# TYPE t_req_total counter
+		t_req_total{kind="simulate",status="ok"} 4
+		t_req_total{kind="verify",status="error"} 1
+	`
+	if err := testutil.CollectAndCompare(cv, strings.NewReader(want)); err != nil {
+		t.Error(err)
+	}
+	if got := testutil.ToFloat64(cv.WithLabelValues("verify", "error")); got != 1 {
+		t.Errorf("child value = %v, want 1", got)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong label-value count must panic")
+			}
+		}()
+		cv.WithLabelValues("only-one")
+	}()
+}
+
+func TestHistogram(t *testing.T) {
+	h := metrics.NewHistogram(metrics.Opts{Namespace: "t", Name: "lat_seconds", Help: "latency"},
+		[]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	want := `
+		# HELP t_lat_seconds latency
+		# TYPE t_lat_seconds histogram
+		t_lat_seconds_bucket{le="0.1"} 1
+		t_lat_seconds_bucket{le="1"} 3
+		t_lat_seconds_bucket{le="10"} 4
+		t_lat_seconds_bucket{le="+Inf"} 5
+		t_lat_seconds_sum 56.05
+		t_lat_seconds_count 5
+	`
+	if err := testutil.CollectAndCompare(h, strings.NewReader(want)); err != nil {
+		t.Error(err)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+}
+
+func TestRegistryGatherSortedAndDuplicatePanic(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := metrics.NewCounter(metrics.Opts{Name: "bbb_total"})
+	a := metrics.NewGauge(metrics.Opts{Name: "aaa"})
+	reg.MustRegister(b, a)
+	fams := reg.Gather()
+	if len(fams) != 2 || fams[0].Name != "aaa" || fams[1].Name != "bbb_total" {
+		t.Errorf("gather not sorted by name: %+v", fams)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate family name must panic")
+			}
+		}()
+		reg.MustRegister(metrics.NewCounter(metrics.Opts{Name: "aaa"}))
+	}()
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := metrics.NewCounter(metrics.Opts{Namespace: "t", Name: "served_total", Help: "served"})
+	c.Add(7)
+	reg.MustRegister(c)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	vals, err := testutil.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["t_served_total"] != 7 {
+		t.Errorf("scraped t_served_total = %v, want 7", vals["t_served_total"])
+	}
+}
+
+func TestGatherAndCompareFiltersNames(t *testing.T) {
+	reg := metrics.NewRegistry()
+	keep := metrics.NewCounter(metrics.Opts{Name: "keep_total", Help: "kept"})
+	noise := metrics.NewCounter(metrics.Opts{Name: "noise_total"})
+	keep.Inc()
+	noise.Add(99)
+	reg.MustRegister(keep, noise)
+	want := `
+		# HELP keep_total kept
+		# TYPE keep_total counter
+		keep_total 1
+	`
+	if err := testutil.GatherAndCompare(reg, strings.NewReader(want), "keep_total"); err != nil {
+		t.Error(err)
+	}
+	if err := testutil.GatherAndCompare(reg, strings.NewReader(want)); err == nil {
+		t.Error("unfiltered gather must not match the filtered expectation")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	cv := metrics.NewCounterVec(metrics.Opts{Name: "esc_total"}, []string{"p"})
+	cv.WithLabelValues(`a"b\c` + "\n").Inc()
+	want := `
+		# HELP esc_total
+		# TYPE esc_total counter
+		esc_total{p="a\"b\\c\n"} 1
+	`
+	if err := testutil.CollectAndCompare(cv, strings.NewReader(want)); err != nil {
+		t.Error(err)
+	}
+}

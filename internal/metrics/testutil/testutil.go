@@ -1,0 +1,115 @@
+// Package testutil pins exported metrics in tests, mirroring the
+// prometheus/client_golang testutil idiom: every metric family the serving
+// path exports is asserted by at least one ToFloat64 or CollectAndCompare
+// call, so the numbers operators scrape are proven, not decorative.
+package testutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// ToFloat64 returns the single sample value of a collector: a plain
+// counter or gauge, or a vector with exactly one child. It panics when
+// the collector carries zero or several samples (use CollectAndCompare
+// there), matching the prometheus testutil contract.
+func ToFloat64(c metrics.Collector) float64 {
+	f := c.Family()
+	var vals []float64
+	for _, s := range f.Samples {
+		if s.Suffix == "" {
+			vals = append(vals, s.Value)
+		}
+	}
+	if len(vals) != 1 {
+		panic(fmt.Sprintf("testutil: ToFloat64 on %s: %d samples, want exactly 1", f.Name, len(vals)))
+	}
+	return vals[0]
+}
+
+// CollectAndCompare renders one collector in the text exposition format and
+// compares it against the expected text. metricNames, when given, filters
+// to those family names (a no-op for single-family collectors with a
+// matching name; a mismatch compares nothing and fails on non-empty
+// expectations).
+func CollectAndCompare(c metrics.Collector, expected io.Reader, metricNames ...string) error {
+	return compare([]metrics.Family{c.Family()}, expected, metricNames)
+}
+
+// GatherAndCompare is CollectAndCompare over a whole registry.
+func GatherAndCompare(r *metrics.Registry, expected io.Reader, metricNames ...string) error {
+	return compare(r.Gather(), expected, metricNames)
+}
+
+func compare(fams []metrics.Family, expected io.Reader, names []string) error {
+	keep := func(string) bool { return true }
+	if len(names) > 0 {
+		set := make(map[string]bool, len(names))
+		for _, n := range names {
+			set[n] = true
+		}
+		keep = func(n string) bool { return set[n] }
+	}
+	var filtered []metrics.Family
+	for _, f := range fams {
+		if keep(f.Name) {
+			filtered = append(filtered, f)
+		}
+	}
+	var sb strings.Builder
+	metrics.WriteText(&sb, filtered)
+	got := canonical(sb.String())
+
+	raw, err := io.ReadAll(expected)
+	if err != nil {
+		return fmt.Errorf("testutil: reading expected text: %w", err)
+	}
+	want := canonical(string(raw))
+	if got != want {
+		return fmt.Errorf("testutil: exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	return nil
+}
+
+// canonical trims per-line whitespace and drops blank lines, so expected
+// strings in tests can be indented naturally.
+func canonical(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// ParseText parses a text exposition body into sample values keyed by the
+// sample line's identity — `name` or `name{label="v",...}` exactly as
+// rendered — for end-to-end scrape assertions against a live /metrics.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("testutil: bad exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("testutil: bad value in line %q: %w", line, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	return out, sc.Err()
+}

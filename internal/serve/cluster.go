@@ -17,7 +17,7 @@ import (
 //	GET  /v1/cluster/members     → {workers: [...]}
 func mountCluster(mux *http.ServeMux, opts Options) {
 	coord := opts.Cluster
-	mux.HandleFunc("POST /v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/cluster/register", opts.sm.instrumented("/v1/cluster/register", func(w http.ResponseWriter, r *http.Request) {
 		var req cluster.RegisterRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
@@ -34,8 +34,8 @@ func mountCluster(mux *http.ServeMux, opts Options) {
 			TTLMillis: coord.TTL().Milliseconds(),
 			Epoch:     wk.Epoch,
 		})
-	})
-	mux.HandleFunc("POST /v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/cluster/heartbeat", opts.sm.instrumented("/v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req cluster.HeartbeatRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
@@ -53,8 +53,8 @@ func mountCluster(mux *http.ServeMux, opts Options) {
 			TTLMillis: coord.TTL().Milliseconds(),
 			Epoch:     wk.Epoch,
 		})
-	})
-	mux.HandleFunc("POST /v1/cluster/deregister", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/cluster/deregister", opts.sm.instrumented("/v1/cluster/deregister", func(w http.ResponseWriter, r *http.Request) {
 		var req cluster.HeartbeatRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
@@ -63,8 +63,8 @@ func mountCluster(mux *http.ServeMux, opts Options) {
 		coord.Deregister(req.ID)
 		opts.RequestLog.Info("cluster member deregistered", "worker", req.ID)
 		writeJSON(w, http.StatusOK, struct{}{})
-	})
-	mux.HandleFunc("GET /v1/cluster/members", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/cluster/members", opts.sm.instrumented("/v1/cluster/members", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]cluster.Worker{"workers": coord.Members()})
-	})
+	}))
 }

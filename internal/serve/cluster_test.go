@@ -85,7 +85,9 @@ func TestShedWhenSaturated(t *testing.T) {
 
 	// MaxQueue -1 disables shedding: the request queues instead (it would
 	// block, so just check the admission decision directly).
-	if shed(eng, Options{MaxQueue: -1}.withDefaults(), httptest.NewRecorder()) {
+	noShed := Options{MaxQueue: -1}.withDefaults()
+	noShed.sm = newServeMetrics()
+	if shed(eng, noShed, "/v1/analyze", httptest.NewRecorder()) {
 		t.Error("MaxQueue -1 must never shed")
 	}
 }

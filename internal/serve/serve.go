@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/protocols"
 	"repro/internal/sweep"
 )
@@ -71,6 +72,16 @@ type Options struct {
 	// Retry-After instead of queueing without bound. 0 means twice the slot
 	// capacity; -1 disables shedding.
 	MaxQueue int
+	// Metrics, when set, mounts GET /metrics serving this registry in the
+	// Prometheus text exposition format, with the engine's, this handler's
+	// and (under Cluster) the coordinator's collectors registered into it.
+	// Each registry can back at most one handler: family names collide on
+	// a second registration.
+	Metrics *metrics.Registry
+
+	// sm is the handler's instrumentation, created by NewHandler whether
+	// or not Metrics exports it.
+	sm *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -97,7 +108,7 @@ func (o Options) withDefaults() Options {
 // answered 503 + Retry-After immediately instead of queueing without
 // bound. The cluster dispatcher understands the 503 as backpressure and
 // retries the range on the same worker after the delay.
-func shed(eng *engine.Engine, opts Options, w http.ResponseWriter) bool {
+func shed(eng *engine.Engine, opts Options, endpoint string, w http.ResponseWriter) bool {
 	if opts.MaxQueue < 0 {
 		return false
 	}
@@ -109,6 +120,7 @@ func shed(eng *engine.Engine, opts Options, w http.ResponseWriter) bool {
 	if busy < capacity || queued < maxQueue {
 		return false
 	}
+	opts.sm.Shed.WithLabelValues(endpoint).Inc()
 	w.Header().Set("Retry-After", "1")
 	writeJSON(w, http.StatusServiceUnavailable, errorBody{
 		Error: fmt.Sprintf("saturated: %d/%d slots busy, %d queued", busy, capacity, queued),
@@ -148,29 +160,48 @@ type catalogBody struct {
 }
 
 // NewHandler mounts the API on a fresh mux backed by eng. A positive
-// Options.StableWorkers is applied to eng.
+// Options.StableWorkers is applied to eng. When Options.Metrics is set,
+// GET /metrics serves the registry with the engine's, the handler's and
+// (under Cluster) the coordinator's collectors registered.
 func NewHandler(eng *engine.Engine, opts Options) http.Handler {
+	h, _ := newHandler(eng, opts)
+	return h
+}
+
+// newHandler is NewHandler plus the handler's own instrumentation, which
+// in-package tests assert against directly.
+func newHandler(eng *engine.Engine, opts Options) (http.Handler, *Metrics) {
 	opts = opts.withDefaults()
 	if opts.StableWorkers > 0 {
 		eng.SetStableWorkers(opts.StableWorkers)
 	}
+	sm := newServeMetrics()
+	opts.sm = sm
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/analyze", sm.instrumented("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		handleAnalyze(eng, opts, w, r)
-	})
-	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/sweep", sm.instrumented("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		handleSweep(eng, opts, w, r)
-	})
-	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/catalog", sm.instrumented("/v1/catalog", func(w http.ResponseWriter, r *http.Request) {
 		handleCatalog(eng, w)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /healthz", sm.instrumented("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
 	if opts.Cluster != nil {
 		mountCluster(mux, opts)
 	}
-	return mux
+	if opts.Metrics != nil {
+		eng.Metrics().Register(opts.Metrics)
+		sm.Register(opts.Metrics)
+		if opts.Cluster != nil {
+			opts.Cluster.Metrics().Register(opts.Metrics)
+		}
+		mux.Handle("GET /metrics", sm.instrumented("/metrics", opts.Metrics.Handler().ServeHTTP))
+	}
+	return mux, sm
 }
 
 func handleAnalyze(eng *engine.Engine, opts Options, w http.ResponseWriter, r *http.Request) {
@@ -180,7 +211,7 @@ func handleAnalyze(eng *engine.Engine, opts Options, w http.ResponseWriter, r *h
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
 		return
 	}
-	if shed(eng, opts, w) {
+	if shed(eng, opts, "/v1/analyze", w) {
 		opts.RequestLog.Warn("request shed", "path", "/v1/analyze", "kind", req.Kind)
 		return
 	}
@@ -260,23 +291,30 @@ func handleSweep(eng *engine.Engine, opts Options, w http.ResponseWriter, r *htt
 	mode := "local"
 	if opts.Cluster != nil {
 		mode = "cluster"
-	} else if shed(eng, opts, w) {
+	} else if shed(eng, opts, "/v1/sweep", w) {
 		// Coordinators never shed sweeps: fan-out is network-bound, and the
 		// workers' own 503s already backpressure the dispatcher.
 		opts.RequestLog.Warn("request shed", "path", "/v1/sweep", "sweep", spec.Name)
 		return
 	}
+	opts.sm.SweepsInflight.Inc()
+	defer opts.sm.SweepsInflight.Dec()
 	ctx, cancel := context.WithTimeout(r.Context(), opts.SweepTimeout)
 	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
+	// Push the 200 + content type out before the first cell completes:
+	// streaming clients (and the cluster dispatcher) should not wait on a
+	// slow first cell to learn the request was accepted.
+	_ = rc.Flush()
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	writeRow := func(row SweepRow) {
 		// Write errors mean the client went away; the context will cancel
 		// the sweep, so there is nothing to handle here.
+		opts.sm.StreamRows.WithLabelValues(row.Type).Inc()
 		_ = enc.Encode(row)
 		_ = rc.Flush()
 	}

@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// FuzzParseSweepSpec throws arbitrary documents at the sweep-spec parser
+// and holds it to its contract: it never panics, every rejection wraps
+// ErrBadSpec (and thus engine.ErrBadRequest, so serve maps it to a 400),
+// and every accepted spec round-trips through json.Marshal into a spec
+// with the identical grid. The seed corpus is the hand-written malformed
+// set from TestParseSpecMalformed plus representative valid specs, so the
+// fuzzer mutates from both sides of the boundary.
+func FuzzParseSweepSpec(f *testing.F) {
+	seeds := []string{
+		// Malformed: the documented rejection cases.
+		`{`,
+		`{"protocolz": [{"spec":"flock:3"}], "kinds":["stable"]}`,
+		`{"protocols":[{"spec":"flock:3"}],"kinds":["zzz"]}`,
+		`{"protocols":[{"spec":"flock:3"}]}`,
+		`{"protocols":[{"spec":"flock:3","inline":{"name":"x"}}],"kinds":["stable"]}`,
+		`{"protocols":[{"label":"x"}],"kinds":["stable"]}`,
+		`{"protocols":[{"spec":"flock:3"}],"kinds":["simulate"],"sizes":["{N"]}`,
+		`{"protocols":[{"spec":"flock:{N}"}],"params":[3],"kinds":["simulate"],"sizes":["{N}/2"]}`,
+		`{"protocols":[{"spec":"flock:{N}"}],"kinds":["stable"]}`,
+		`{"protocols":[{"spec":"flock:{N}"}],"params":[{"from":9,"to":2}],"kinds":["stable"]}`,
+		`{"protocols":[{"spec":"flock:{N}"}],"params":[{"from":2,"to":64,"mull":2}],"kinds":["stable"]}`,
+		`{"protocols":[{"spec":"flock:{N}"}],"params":[{"from":2,"to":9,"step":1,"mul":2}],"kinds":["stable"]}`,
+		`{"protocols":[{"spec":"flock:{N}"}],"params":[{"from":2,"to":9,"mul":1}],"kinds":["stable"]}`,
+		`{"protocols":[{"spec":"flock:3"}],"kinds":["simulate"]}`,
+		`{"kinds":["verify"],"params":[3]}`,
+		`{"protocols":[{"spec":"flock:3"}],"kinds":["stable"],"maxCells":-1}`,
+		`{"protocols":[{"spec":"flock:3"}],"kinds":["stable"],"maxCells":2000000}`,
+		// Valid: exercise both protocol forms, params, sizes, options.
+		`{"name":"bounds-scaling","kinds":["bounds"],"params":[{"from":3,"to":12}],"maxCells":200}`,
+		`{"name":"ok","protocols":[{"spec":"flock:{N}"}],"params":[{"from":3,"to":5}],"kinds":["simulate","stable"],"sizes":[6,"{N}*2"],"options":{"seed":11,"exactOracle":true}}`,
+		`{"protocols":[{"inline":{"name":"maj","states":[{"name":"a","output":1},{"name":"b","output":0}],"transitions":[["a","b","a","a"]],"inputs":{"x":"a","y":"b"},"completeWithIdentity":true},"inputs":[[3,2]]}],"kinds":["simulate"],"options":{"maxSteps":100000}}`,
+		`{"protocols":[{"spec":"flock:{N}"}],"params":[{"from":2,"to":64,"mul":2}],"kinds":["bounds"]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			// The rejection contract: every parse failure is a client
+			// error, identifiable by both sentinels.
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("rejection does not wrap ErrBadSpec: %v\ninput: %q", err, data)
+			}
+			if !errors.Is(err, engine.ErrBadRequest) {
+				t.Fatalf("rejection does not wrap engine.ErrBadRequest: %v\ninput: %q", err, data)
+			}
+			return
+		}
+		// Accepted specs expand (ParseSpec already validated the walk) and
+		// survive a marshal/parse round trip with the same grid.
+		cells, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("accepted spec failed to expand: %v\ninput: %q", err, data)
+		}
+		doc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v\ninput: %q", err, data)
+		}
+		spec2, err := ParseSpec(doc)
+		if err != nil {
+			t.Fatalf("round-tripped spec rejected: %v\nremarshalled: %s\ninput: %q", err, doc, data)
+		}
+		cells2, err := spec2.Expand()
+		if err != nil {
+			t.Fatalf("round-tripped spec failed to expand: %v\nremarshalled: %s", err, doc)
+		}
+		if len(cells2) != len(cells) {
+			t.Fatalf("grid changed across round trip: %d cells -> %d cells\nremarshalled: %s\ninput: %q",
+				len(cells), len(cells2), doc, data)
+		}
+	})
+}

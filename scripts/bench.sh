@@ -12,6 +12,10 @@
 #   stable  BenchmarkStableAnalyze* in internal/stable (includes the
 #           retained seed fixpoint as the "before" side; expect the Naive
 #           benchmark to take minutes per iteration)  → BENCH_stable.json
+#   parallel  the Arena/Parallel pairs from reach and stable re-run under
+#           GOMAXPROCS=${PARALLEL_GOMAXPROCS:-4}, so the record has a row
+#           where the worker pools actually run concurrently
+#                                                   → BENCH_parallel.json
 #
 # Usage:
 #   scripts/bench.sh                   # all suites, full run
@@ -119,10 +123,33 @@ run_stable() {
     "$tmp" "$out"
 }
 
+run_parallel() {
+  # The parallel suites re-run the Arena (sequential baseline) and
+  # Parallel benchmarks under an explicit GOMAXPROCS > 1 so the committed
+  # record has a row where the worker pools can actually run concurrently
+  # — the other suites inherit whatever the host offers, which on a
+  # 1-core machine pins Parallel to a sequential schedule.
+  local out="${OUT_PARALLEL:-BENCH_parallel.json}"
+  local procs="${PARALLEL_GOMAXPROCS:-4}"
+  local tmp
+  tmp="$(mktemp)"
+  tmpfiles+=("$tmp")
+  GOMAXPROCS="$procs" go test ./internal/reach -run '^$' \
+    -bench 'BenchmarkExplore(Arena|Parallel)' \
+    -benchmem -benchtime "$benchtime" -count 1 | tee "$tmp" >&2
+  GOMAXPROCS="$procs" go test ./internal/stable -run '^$' \
+    -bench 'BenchmarkStableAnalyze(Arena|Parallel)' \
+    -benchmem -benchtime "$benchtime" -count 1 -timeout 2h | tee -a "$tmp" >&2
+  GOMAXPROCS="$procs" render parallel \
+    "Arena rows are the sequential baseline, Parallel rows the worker-pool analyses, both under GOMAXPROCS=$procs; when gomaxprocs exceeds host_cpus the schedule is oversubscribed and the ratio is a lower bound on real multi-core scaling" \
+    "$tmp" "$out"
+}
+
 case "$suites" in
-  reach)  run_reach ;;
-  sim)    run_sim ;;
-  stable) run_stable ;;
-  all)    run_reach; run_sim; run_stable ;;
-  *) echo "usage: scripts/bench.sh [reach|sim|stable|all]" >&2; exit 2 ;;
+  reach)    run_reach ;;
+  sim)      run_sim ;;
+  stable)   run_stable ;;
+  parallel) run_parallel ;;
+  all)      run_reach; run_sim; run_stable; run_parallel ;;
+  *) echo "usage: scripts/bench.sh [reach|sim|stable|parallel|all]" >&2; exit 2 ;;
 esac

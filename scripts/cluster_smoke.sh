@@ -102,5 +102,26 @@ if [ "${served:-0}" -ne "$want_cells" ]; then
   exit 1
 fi
 
+# The coordinator's Prometheus exposition agrees: the per-worker
+# cells-served counters sum to the grid size. (Retries re-dispatch whole
+# ranges but each cell is recorded exactly once, so the sum is exact.)
+metrics="$(curl -sf "$coord/metrics")"
+scraped="$(grep '^pp_cluster_cells_served_total{' <<< "$metrics" \
+  | awk '{s += $2} END {print s + 0}')"
+if [ "${scraped:-0}" -ne "$want_cells" ]; then
+  echo "FAIL: /metrics cells-served counters sum to $scraped, want $want_cells" >&2
+  grep '^pp_cluster' <<< "$metrics" >&2 || true
+  exit 1
+fi
+# Both workers appear in the routing distribution — the hash router
+# actually spread the grid instead of pinning everything to one worker.
+for w in w1 w2; do
+  if ! grep -q "^pp_cluster_cells_routed_total{worker=\"$w\"}" <<< "$metrics"; then
+    echo "FAIL: /metrics routing distribution misses worker $w" >&2
+    grep '^pp_cluster' <<< "$metrics" >&2 || true
+    exit 1
+  fi
+done
+
 rows="$(wc -l < "$workdir/local.ndjson")"
-echo "cluster smoke OK: $rows canonical rows byte-identical across 1 coordinator + 2 workers ($served cells served remotely)"
+echo "cluster smoke OK: $rows canonical rows byte-identical across 1 coordinator + 2 workers ($served cells served remotely, /metrics agrees)"
