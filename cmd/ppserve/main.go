@@ -11,6 +11,8 @@
 //	ppserve -metrics localhost:9090  # /metrics on its own scrape address too
 //	ppserve -coordinator             # cluster coordinator: fans sweeps out
 //	ppserve -worker -join http://coordinator:8080   # cluster worker
+//	ppserve -journal-dir DIR -artifact-dir DIR      # durable: resumable sweeps,
+//	                                                # disk-backed artifact cache
 //
 // Endpoints:
 //
@@ -19,6 +21,7 @@
 //	GET  /v1/catalog   resolvable specs + built-in protocol zoo
 //	GET  /healthz      liveness probe
 //	GET  /metrics      Prometheus text exposition (engine, serve, cluster collectors)
+//	GET  /v1/artifacts/{kind}/{hash}   CRC-framed memoized artifact (peer fetch)
 //	POST /v1/cluster/register, /v1/cluster/heartbeat, /v1/cluster/deregister
 //	GET  /v1/cluster/members        (coordinator mode only)
 //
@@ -37,8 +40,16 @@
 // protocol content hash and retrying failed ranges on survivors; the
 // merged stream is the one a single process would have produced. On
 // SIGTERM a worker drains gracefully: it deregisters from the coordinator,
-// finishes its in-flight requests, and exits. See docs/api.md for the full
-// HTTP reference.
+// finishes its in-flight requests, and exits.
+//
+// With -journal-dir every sweep is write-ahead logged: a killed server,
+// restarted over the same directory, resumes the sweep on resubmission
+// (replayed cells verbatim, only the remainder recomputed) and the
+// canonical stream is byte-identical to a never-crashed run. With
+// -artifact-dir the engine's memoized artifacts persist to disk and
+// cluster nodes peer-fetch them over /v1/artifacts. See docs/api.md for
+// the full HTTP reference and docs/operations.md for durability and
+// fault injection.
 package main
 
 import (
@@ -59,8 +70,10 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() { cli.Main("ppserve", run) }
@@ -87,6 +100,8 @@ func run(args []string) error {
 		heartbeatTTL  = fs.Duration("heartbeat-ttl", cluster.DefaultTTL, "worker lease duration; workers heartbeat at a third of it (coordinator mode)")
 		rangeCells    = fs.Int("range-cells", 0, "cells per dispatched range, the retry granularity (coordinator mode; 0 = 64)")
 		rangeTimeout  = fs.Duration("range-timeout", 0, "flat per-range dispatch deadline (coordinator mode; 0 = 2m)")
+		journalDir    = fs.String("journal-dir", "", "durable sweep journal directory: /v1/sweep logs dispatched ranges and completed cells, and a resubmitted spec resumes instead of recomputing")
+		artifactDir   = fs.String("artifact-dir", "", "disk-backed artifact store directory behind the engine's in-memory cache; restarts serve repeated protocols from disk")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +129,19 @@ func run(args []string) error {
 	if *slots > 0 {
 		eng.SetSlots(*slots)
 	}
+	if *artifactDir != "" {
+		st, err := store.Open(*artifactDir)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		eng.SetArtifactStore(st)
+		// Workers fill disk misses from the coordinator's /v1/artifacts,
+		// which forwards to the rendezvous owner when it misses locally.
+		if *workerMode {
+			eng.SetPeerFetch(cluster.PeerFetch(nil, strings.TrimSuffix(*join, "/")))
+		}
+	}
 	reg := metrics.NewRegistry()
 	if *metricsAddr != "" {
 		mln, err := startMetrics(*metricsAddr, reg)
@@ -131,6 +159,14 @@ func run(args []string) error {
 		StableWorkers:  *stableWorkers,
 		MaxQueue:       *maxQueue,
 		Metrics:        reg,
+	}
+	if *journalDir != "" {
+		js, err := journal.Open(*journalDir)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		opts.Journal = js
 	}
 	var logger *slog.Logger
 	if *logRequests {

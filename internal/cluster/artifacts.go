@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// Owner returns the live worker that rendezvous routing makes responsible
+// for a protocol hash — the same assignment the dispatcher uses for cache
+// affinity, so the owner is the node most likely to hold the artifact.
+func (c *Coordinator) Owner(hash string) (Worker, bool) {
+	return route(hash, c.Live())
+}
+
+// maxArtifactFetch bounds one peer artifact transfer.
+const maxArtifactFetch = 64 << 20
+
+// FetchArtifact GETs /v1/artifacts/{kind}/{hash} from a peer and returns
+// the decoded payload (the frame's CRC is verified), nil on a 404 miss.
+func FetchArtifact(ctx context.Context, client *http.Client, baseURL, kind, hash string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/artifacts/%s/%s", baseURL, kind, hash), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("artifact fetch: %s: status %d", baseURL, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactFetch+1))
+	if err != nil {
+		return nil, fmt.Errorf("artifact fetch: %w", err)
+	}
+	if len(raw) > maxArtifactFetch {
+		return nil, fmt.Errorf("artifact fetch: body exceeds %d bytes", maxArtifactFetch)
+	}
+	payload, err := store.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("artifact fetch: %w", err)
+	}
+	return payload, nil
+}
+
+// PeerFetch builds the engine's peer-fetch hook against one peer's base
+// URL — a worker points it at its coordinator, whose /v1/artifacts
+// endpoint forwards to the rendezvous owner when it misses locally.
+func PeerFetch(client *http.Client, baseURL string) engine.PeerFetchFunc {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return func(ctx context.Context, kind, hash string) ([]byte, error) {
+		return FetchArtifact(ctx, client, baseURL, kind, hash)
+	}
+}

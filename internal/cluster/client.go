@@ -5,10 +5,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Wire types of the membership endpoints.
@@ -70,7 +73,7 @@ func (a *Agent) Run(ctx context.Context) error {
 
 	var lease Lease
 	backoff := 500 * time.Millisecond
-	for {
+	for step := 0; ; step++ {
 		l, err := a.register(ctx, client)
 		if err == nil {
 			lease = l
@@ -81,10 +84,14 @@ func (a *Agent) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		// Jitter decorrelates the retry storm of a worker fleet restarted
+		// together, deterministically per worker ID so a given worker's
+		// schedule is reproducible.
+		wait := jitterBackoff(a.ID, step, backoff)
 		log.Warn("cluster: registration failed, retrying",
-			"coordinator", a.Coordinator, "error", err, "backoff", backoff)
+			"coordinator", a.Coordinator, "error", err, "backoff", wait)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -157,9 +164,27 @@ func (a *Agent) register(ctx context.Context, client *http.Client) (Lease, error
 	return l, nil
 }
 
+// jitterBackoff spreads backoff step `step` of worker `id` into
+// [0.5, 1.5) of the nominal delay. The factor is a pure function of
+// (id, step) — SplitMix64 over an FNV-1a seed — so two workers retry at
+// decorrelated moments while each worker's own schedule is reproducible.
+func jitterBackoff(id string, step int, d time.Duration) time.Duration {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	z := h.Sum64() + (uint64(step)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	factor := 0.5 + float64(z>>11)/(1<<53)
+	return time.Duration(float64(d) * factor)
+}
+
 // heartbeat renews the lease; it returns the HTTP status so Run can tell
 // "coordinator forgot us" (404 → rejoin) from transport failure.
 func (a *Agent) heartbeat(ctx context.Context, client *http.Client, drain bool) (int, error) {
+	if err := faultinject.Hit(faultinject.PointHeartbeat); err != nil {
+		return 0, err
+	}
 	body, _ := json.Marshal(HeartbeatRequest{ID: a.ID, Drain: drain})
 	resp, err := a.post(ctx, client, "/v1/cluster/heartbeat", body)
 	if err != nil {

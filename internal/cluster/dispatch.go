@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/sweep"
 )
 
@@ -46,6 +47,10 @@ type DispatchOptions struct {
 	// deterministic stream. Calls are serialized; a slow observer
 	// backpressures the dispatcher.
 	OnCell func(sweep.CellResult)
+	// OnDispatch observes every range handed to a worker (or to
+	// LocalWorkerLabel for local execution) before it runs — the durable
+	// journal's range records. Calls may be concurrent across workers.
+	OnDispatch func(worker string, cells []sweep.IndexRange)
 	// DiscardCells leaves Result.Cells empty (streaming consumers saw each
 	// cell via OnCell).
 	DiscardCells bool
@@ -82,6 +87,10 @@ func (o DispatchOptions) withDefaults() (DispatchOptions, error) {
 // the worker is treated as failed.
 const maxSheds = 8
 
+// maxRetryAfter clamps a worker-advertised Retry-After: a corrupt or
+// hostile header must not park a range for hours.
+const maxRetryAfter = 30 * time.Second
+
 // shedError reports a worker that answered 503 (slot semaphore saturated):
 // backpressure, not failure — the range retries on the same worker after
 // the advertised delay.
@@ -114,10 +123,13 @@ func (c *Coordinator) Sweep(ctx context.Context, spec sweep.Spec, opts DispatchO
 		// the stream, so OnCell sees grid order in this mode too.
 		opts.Log.Info("cluster sweep: no live workers, running locally",
 			"sweep", spec.Name, "cells", len(cells))
-		reorder := newMerger(cells, nil, opts.OnCell)
+		if opts.OnDispatch != nil {
+			opts.OnDispatch(LocalWorkerLabel, sweep.Ranges(indicesOf(cells)))
+		}
+		reorder := sweep.NewMerger(cells, nil, opts.OnCell)
 		return sweep.Run(ctx, opts.LocalEngine, spec, sweep.RunOptions{
 			Workers:      opts.LocalWorkers,
-			OnCell:       func(cr sweep.CellResult) { reorder.add(cr) },
+			OnCell:       func(cr sweep.CellResult) { reorder.Add(cr) },
 			DiscardCells: opts.DiscardCells,
 		})
 	}
@@ -132,7 +144,7 @@ func (c *Coordinator) Sweep(ctx context.Context, spec sweep.Spec, opts DispatchO
 
 	start := time.Now()
 	col := sweep.NewCollector(spec.Name, len(cells), len(live), opts.DiscardCells)
-	m := newMerger(cells, col, opts.OnCell)
+	m := sweep.NewMerger(cells, col, opts.OnCell)
 	tctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	d := &dispatcher{
@@ -153,7 +165,7 @@ func (c *Coordinator) Sweep(ctx context.Context, spec sweep.Spec, opts DispatchO
 	d.mu.Unlock()
 
 	select {
-	case <-m.done:
+	case <-m.Done():
 	case <-ctx.Done():
 	}
 	d.mu.Lock()
@@ -182,7 +194,7 @@ type dispatcher struct {
 	coord *Coordinator
 	opts  DispatchOptions
 	spec  sweep.Spec
-	m     *merger
+	m     *sweep.Merger
 	wg    sync.WaitGroup
 
 	mu           sync.Mutex
@@ -356,11 +368,14 @@ func (d *dispatcher) driveLocal() {
 
 		d.coord.metrics.RangesDispatched.WithLabelValues(LocalWorkerLabel).Inc()
 		d.opts.Log.Info("cluster sweep: executing range locally", "cells", len(t.cells))
+		if d.opts.OnDispatch != nil {
+			d.opts.OnDispatch(LocalWorkerLabel, sweep.Ranges(t.indices()))
+		}
 		for _, c := range t.cells {
 			if d.ctx.Err() != nil {
 				break
 			}
-			d.m.add(sweep.RunCell(d.ctx, d.opts.LocalEngine, d.spec, c))
+			d.m.Add(sweep.RunCell(d.ctx, d.opts.LocalEngine, d.spec, c))
 		}
 	}
 }
@@ -382,6 +397,9 @@ func (d *dispatcher) rangeDeadline(t *task) time.Duration {
 func (d *dispatcher) runTask(w Worker, t *task) (served int, missing []sweep.Cell, err error) {
 	sub := d.spec
 	sub.Cells = sweep.Ranges(t.indices())
+	if d.opts.OnDispatch != nil {
+		d.opts.OnDispatch(w.ID, sub.Cells)
+	}
 	body, err := json.Marshal(sub)
 	if err != nil {
 		return 0, t.cells, fmt.Errorf("marshalling sub-spec: %w", err)
@@ -398,14 +416,11 @@ func (d *dispatcher) runTask(w Worker, t *task) (served int, missing []sweep.Cel
 		return 0, t.cells, err
 	}
 	defer resp.Body.Close()
+	if ferr := faultinject.Hit(faultinject.PointWorkerResponse); ferr != nil {
+		return 0, t.cells, ferr
+	}
 	if resp.StatusCode == http.StatusServiceUnavailable {
-		retry := time.Second
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-				retry = time.Duration(secs) * time.Second
-			}
-		}
-		return 0, t.cells, &shedError{retryAfter: retry}
+		return 0, t.cells, &shedError{retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
@@ -428,7 +443,7 @@ func (d *dispatcher) runTask(w Worker, t *task) (served int, missing []sweep.Cel
 		case "cell":
 			if row.Cell != nil {
 				got[row.Cell.Index] = true
-				if d.m.add(*row.Cell) {
+				if d.m.Add(*row.Cell) {
 					served++
 				}
 			}
@@ -449,63 +464,24 @@ func (d *dispatcher) runTask(w Worker, t *task) (served int, missing []sweep.Cel
 	return served, missing, err
 }
 
-// merger is the reorder buffer between completion-ordered worker streams
-// and the grid-ordered client stream. It dedups on cell index (a retried
-// range may re-deliver cells its failed attempt already streamed), folds
-// every first delivery into the shared Collector, and releases the
-// contiguous prefix in index order.
-type merger struct {
-	mu        sync.Mutex
-	pos       map[int]int // grid index → position in the expanded order
-	buf       []*sweep.CellResult
-	seen      []bool
-	next      int
-	remaining int
-	col       *sweep.Collector
-	onCell    func(sweep.CellResult)
-	done      chan struct{}
-}
-
-func newMerger(cells []sweep.Cell, col *sweep.Collector, onCell func(sweep.CellResult)) *merger {
-	m := &merger{
-		pos:       make(map[int]int, len(cells)),
-		buf:       make([]*sweep.CellResult, len(cells)),
-		seen:      make([]bool, len(cells)),
-		remaining: len(cells),
-		col:       col,
-		onCell:    onCell,
-		done:      make(chan struct{}),
-	}
-	for i, c := range cells {
-		m.pos[c.Index] = i
-	}
-	return m
-}
-
-// add folds one delivered cell in; it reports false for duplicates and
-// cells outside the grid. When the last cell lands, done closes.
-func (m *merger) add(cr sweep.CellResult) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	p, ok := m.pos[cr.Index]
-	if !ok || m.seen[p] {
-		return false
-	}
-	m.seen[p] = true
-	m.buf[p] = &cr
-	if m.col != nil {
-		m.col.Add(cr)
-	}
-	for m.next < len(m.buf) && m.buf[m.next] != nil {
-		if m.onCell != nil {
-			m.onCell(*m.buf[m.next])
+// parseRetryAfter turns a worker's Retry-After header into a bounded
+// backoff: default one second, clamped to maxRetryAfter.
+func parseRetryAfter(s string) time.Duration {
+	retry := time.Second
+	if s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
 		}
-		m.buf[m.next] = nil // emitted: free the row, keep seen[]
-		m.next++
 	}
-	m.remaining--
-	if m.remaining == 0 {
-		close(m.done)
+	return min(retry, maxRetryAfter)
+}
+
+// indicesOf lists the grid indices of the expanded cells, for the
+// degraded-mode dispatch record.
+func indicesOf(cells []sweep.Cell) []int {
+	out := make([]int, len(cells))
+	for i, c := range cells {
+		out[i] = c.Index
 	}
-	return true
+	return out
 }

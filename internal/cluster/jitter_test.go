@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJitterBackoffDeterministicPerWorker(t *testing.T) {
+	d := time.Second
+	if jitterBackoff("w1", 0, d) != jitterBackoff("w1", 0, d) {
+		t.Fatal("same (id, step) produced different jitter")
+	}
+	if jitterBackoff("w1", 0, d) == jitterBackoff("w1", 1, d) {
+		t.Error("consecutive steps produced identical jitter")
+	}
+	if jitterBackoff("w1", 0, d) == jitterBackoff("w2", 0, d) {
+		t.Error("distinct workers produced identical jitter")
+	}
+	for _, id := range []string{"w1", "w2", "worker-long-name", ""} {
+		for step := 0; step < 20; step++ {
+			got := jitterBackoff(id, step, d)
+			if got < d/2 || got >= 3*d/2 {
+				t.Fatalf("jitter(%q, %d) = %v outside [0.5s, 1.5s)", id, step, got)
+			}
+		}
+	}
+}
+
+func TestParseRetryAfterClamped(t *testing.T) {
+	for in, want := range map[string]time.Duration{
+		"":      time.Second,
+		"bogus": time.Second,
+		"-3":    time.Second,
+		"5":     5 * time.Second,
+		"30":    maxRetryAfter,
+		"9999":  maxRetryAfter,
+	} {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

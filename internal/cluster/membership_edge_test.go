@@ -1,0 +1,90 @@
+package cluster_test
+
+import (
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestLeaseExpiryRacesRangeCompletion: a worker's lease expires while its
+// range is still streaming. The dispatcher must treat the silence as
+// death for routing (the rest of the grid reroutes) without retracting or
+// double-counting the cells the expired worker's in-flight response
+// delivers — the merged stream stays byte-identical to the
+// single-process run.
+func TestLeaseExpiryRacesRangeCompletion(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	// TTL far shorter than the injected delay, so the first range is
+	// guaranteed in flight when the lease lapses.
+	ttl := 200 * time.Millisecond
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{TTL: ttl})
+	var delayed atomic.Bool
+	stall := func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" && delayed.CompareAndSwap(false, true) {
+				// Sit on the first range until well past lease expiry, then
+				// serve it in full: completion racing expiry.
+				time.Sleep(3 * ttl)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	startWorker(t, coord, "w1", stall)
+
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 5})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+
+	if !delayed.Load() {
+		t.Fatal("stall never fired")
+	}
+	// No heartbeats arrived, so the lease lapsed and the worker is gone.
+	if coord.Alive("w1") {
+		t.Error("worker outlived its lease without heartbeating")
+	}
+}
+
+// TestReregisterNewEpochWhileRangeInFlight: a worker re-registers (new
+// epoch — the rejoin path after a coordinator restart or lease blip)
+// while a range dispatched under its old epoch is still streaming. The
+// old range's cells merge normally, the worker keeps serving under the
+// new epoch, and the stream equals the single-process run.
+func TestReregisterNewEpochWhileRangeInFlight(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{})
+	var rejoined atomic.Bool
+	var url atomic.Value
+	rejoin := func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" && rejoined.CompareAndSwap(false, true) {
+				// Mid-flight of the first range: the worker re-registers,
+				// bumping its epoch while this very response keeps streaming.
+				coord.Register("w1", url.Load().(string))
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	srv := startWorker(t, coord, "w1", rejoin)
+	url.Store(srv.URL)
+	before := coord.Members()[0].Epoch
+
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 5})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+
+	if !rejoined.Load() {
+		t.Fatal("re-registration never fired")
+	}
+	members := coord.Members()
+	if len(members) != 1 || members[0].Epoch != before+1 {
+		t.Fatalf("worker epoch after rejoin: %+v, want epoch %d", members, before+1)
+	}
+	if !coord.Alive("w1") {
+		t.Error("rejoined worker is not live")
+	}
+}

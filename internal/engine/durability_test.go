@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics/testutil"
+	"repro/internal/store"
+)
+
+// TestLRUHitSurvivesEviction pins the LRU contract: an entry hit just
+// before an eviction cycle outlives it, and the cold entry goes instead.
+func TestLRUHitSurvivesEviction(t *testing.T) {
+	eng := New()
+	eng.SetCacheLimit(2)
+	do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:4"}})
+	do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:5"}})
+	// Touch binary:4 so binary:5 is now the least recently used …
+	do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:4"}})
+	// … and let a third protocol force one eviction.
+	do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:6"}})
+
+	_, missesBefore := eng.CacheStats()
+	do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:4"}})
+	if _, misses := eng.CacheStats(); misses != missesBefore {
+		t.Fatal("just-hit entry was evicted: repeat request missed the cache")
+	}
+	do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:5"}})
+	if _, misses := eng.CacheStats(); misses != missesBefore+1 {
+		t.Fatal("least recently used entry was not the one evicted")
+	}
+}
+
+// TestDiskStoreWarmRestart pins the acceptance criterion: a restarted
+// engine (fresh memory cache, same artifact directory) serves its first
+// repeated-protocol request from the disk store — no recomputation, and
+// the result is bit-identical to the computed one.
+func TestDiskStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Engine {
+		eng := New()
+		s, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetArtifactStore(s)
+		return eng
+	}
+
+	first := open()
+	resStable := do(t, first, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "majority"}})
+	resBasis := do(t, first, Request{Kind: KindBasis, Protocol: ProtocolRef{Spec: "binary:5"}})
+	if got := first.Computations(); got != 2 {
+		t.Fatalf("cold engine ran %d computations, want 2", got)
+	}
+
+	second := open()
+	res2 := do(t, second, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "majority"}})
+	if got := second.Computations(); got != 0 {
+		t.Fatalf("restarted engine recomputed (%d computations) despite disk store", got)
+	}
+	if !reflect.DeepEqual(res2.Stable, resStable.Stable) {
+		t.Fatalf("disk-restored stable result differs:\n%+v\nvs\n%+v", res2.Stable, resStable.Stable)
+	}
+	res3 := do(t, second, Request{Kind: KindBasis, Protocol: ProtocolRef{Spec: "binary:5"}})
+	if got := second.Computations(); got != 0 {
+		t.Fatalf("restarted engine recomputed the basis (%d computations)", got)
+	}
+	if !reflect.DeepEqual(res3.Basis, resBasis.Basis) {
+		t.Fatal("disk-restored basis differs from the computed one")
+	}
+	hits := testutil.ToFloat64(second.ArtifactStore().Metrics().Reads.WithLabelValues("hit"))
+	if hits != 2 {
+		t.Fatalf("pp_store_reads_total{result=hit} = %v, want 2", hits)
+	}
+}
+
+// TestCorruptDiskEntryRecomputed pins corruption tolerance end to end: a
+// flipped bit on disk must surface as a recomputation, never a wrong
+// result, and the store heals.
+func TestCorruptDiskEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	eng := New()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetArtifactStore(s)
+	want := do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:5"}})
+
+	hash := want.Protocol.Hash
+	p := filepath.Join(dir, ArtifactStable, hash)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 1
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New()
+	fresh.SetArtifactStore(s)
+	got := do(t, fresh, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:5"}})
+	if fresh.Computations() != 1 {
+		t.Fatal("corrupt entry was trusted instead of recomputed")
+	}
+	if !reflect.DeepEqual(got.Stable, want.Stable) {
+		t.Fatal("recomputed result differs")
+	}
+	// The recompute healed the store: one more restart is warm again.
+	third := New()
+	third.SetArtifactStore(s)
+	do(t, third, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:5"}})
+	if third.Computations() != 0 {
+		t.Fatal("store did not heal after corruption recompute")
+	}
+}
+
+// TestPeerFetchFallback pins the peer-fetch path: disk miss → peer hit →
+// local write-through, and peer errors degrade to recomputation.
+func TestPeerFetchFallback(t *testing.T) {
+	source := New()
+	sdir := t.TempDir()
+	ss, err := store.Open(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.SetArtifactStore(ss)
+	want := do(t, source, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "majority"}})
+
+	fetches := 0
+	peer := func(ctx context.Context, kind, hash string) ([]byte, error) {
+		fetches++
+		payload, ok, err := source.ArtifactBytes(ctx, kind, hash)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return payload, nil
+	}
+
+	eng := New()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetArtifactStore(s)
+	eng.SetPeerFetch(peer)
+	got := do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "majority"}})
+	if fetches != 1 {
+		t.Fatalf("peer fetched %d times, want 1", fetches)
+	}
+	if eng.Computations() != 0 {
+		t.Fatal("peer hit did not prevent recomputation")
+	}
+	if !reflect.DeepEqual(got.Stable, want.Stable) {
+		t.Fatal("peer-fetched result differs")
+	}
+	if v := testutil.ToFloat64(s.Metrics().PeerFetches.WithLabelValues("hit")); v != 1 {
+		t.Fatalf("pp_store_peer_fetches_total{result=hit} = %v, want 1", v)
+	}
+	// Write-through: the same engine restarted is warm without the peer.
+	again := New()
+	s2, err := store.Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.SetArtifactStore(s2)
+	again.SetPeerFetch(func(context.Context, string, string) ([]byte, error) {
+		return nil, errors.New("peer down")
+	})
+	do(t, again, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "majority"}})
+	if again.Computations() != 0 {
+		t.Fatal("peer hit was not written through to the local store")
+	}
+}
+
+// TestPeerErrorDegradesToRecompute: a failing peer never blocks a result.
+func TestPeerErrorDegradesToRecompute(t *testing.T) {
+	eng := New()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetArtifactStore(s)
+	eng.SetPeerFetch(func(context.Context, string, string) ([]byte, error) {
+		return nil, errors.New("peer down")
+	})
+	do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "binary:5"}})
+	if eng.Computations() != 1 {
+		t.Fatal("peer error should fall back to computing")
+	}
+	if v := testutil.ToFloat64(s.Metrics().PeerFetches.WithLabelValues("error")); v != 1 {
+		t.Fatalf("peer_fetches{error} = %v, want 1", v)
+	}
+}

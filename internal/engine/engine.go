@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/saturate"
 	"repro/internal/sim"
 	"repro/internal/stable"
+	"repro/internal/store"
 )
 
 // ErrBadRequest wraps every request-validation failure, so transports can
@@ -62,6 +64,7 @@ type Engine struct {
 
 	mu       sync.Mutex
 	cache    map[string]*artifacts
+	lru      *list.List // hashes, most recently used at the front
 	maxCache int
 	hits     uint64
 	misses   uint64
@@ -70,6 +73,13 @@ type Engine struct {
 	// many goroutines (0/1 = sequential; the result is bit-identical either
 	// way, so cached artifacts are oblivious to the setting).
 	stableWorkers int
+
+	// artstore, when set, is the disk layer under the in-memory cache:
+	// misses try it before recomputing, computed artifacts write through.
+	// peerFetch, when set, is consulted after a disk miss (cluster mode).
+	// See artifactio.go.
+	artstore  *store.Store
+	peerFetch PeerFetchFunc
 
 	// metrics instruments the request path and artifact cache; see
 	// metrics.go. Always non-nil.
@@ -102,6 +112,9 @@ func (m *memo[T]) completed() bool {
 type artifacts struct {
 	stable memo[*stable.Analysis]
 	basis  memo[[]realise.TransitionMultiset]
+	// elem is this entry's node in the engine's LRU list (value: the
+	// protocol hash), maintained under e.mu.
+	elem *list.Element
 }
 
 // New returns an engine resolving protocols through the process-wide
@@ -117,6 +130,7 @@ func NewWithRegistry(reg *protocols.Registry) *Engine {
 		reg:      reg,
 		sem:      make(chan struct{}, max(2, runtime.NumCPU())),
 		cache:    make(map[string]*artifacts),
+		lru:      list.New(),
 		maxCache: defaultMaxCachedProtocols,
 	}
 	e.metrics = newEngineMetrics(e)
@@ -124,8 +138,8 @@ func NewWithRegistry(reg *protocols.Registry) *Engine {
 }
 
 // SetCacheLimit bounds the number of protocols with cached artifacts
-// (default 256). When full, an arbitrary entry is evicted; in-flight users
-// of an evicted entry are unaffected.
+// (default 256). When full, the least recently used entry is evicted;
+// in-flight users of an evicted entry are unaffected.
 func (e *Engine) SetCacheLimit(n int) {
 	if n < 1 {
 		n = 1
@@ -387,25 +401,32 @@ func (e *Engine) dispatch(ctx context.Context, req Request, entry protocols.Entr
 }
 
 // artifactsFor returns the (possibly fresh) artifact slot for a protocol
-// hash.
+// hash, promoting it to most recently used. Under capacity pressure the
+// least recently used entry is evicted, so a hot artifact (one a sweep is
+// hammering) survives a parade of one-shot inline protocols.
 func (e *Engine) artifactsFor(hash string) *artifacts {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	a, ok := e.cache[hash]
-	if !ok {
-		for len(e.cache) >= e.maxCache {
-			for k := range e.cache {
-				delete(e.cache, k)
-				e.metrics.CacheEvictions.Inc()
-				break
-			}
-		}
-		a = &artifacts{
-			stable: memo[*stable.Analysis]{ready: make(chan struct{})},
-			basis:  memo[[]realise.TransitionMultiset]{ready: make(chan struct{})},
-		}
-		e.cache[hash] = a
+	if ok {
+		e.lru.MoveToFront(a.elem)
+		return a
 	}
+	for len(e.cache) >= e.maxCache {
+		back := e.lru.Back()
+		if back == nil {
+			break
+		}
+		delete(e.cache, back.Value.(string))
+		e.lru.Remove(back)
+		e.metrics.CacheEvictions.Inc()
+	}
+	a = &artifacts{
+		stable: memo[*stable.Analysis]{ready: make(chan struct{})},
+		basis:  memo[[]realise.TransitionMultiset]{ready: make(chan struct{})},
+	}
+	a.elem = e.lru.PushFront(hash)
+	e.cache[hash] = a
 	return a
 }
 
@@ -432,6 +453,7 @@ func (e *Engine) evictIfCurrent(hash string, a *artifacts) {
 	evicted := e.cache[hash] == a
 	if evicted {
 		delete(e.cache, hash)
+		e.lru.Remove(a.elem)
 	}
 	e.mu.Unlock()
 	if evicted {
@@ -467,11 +489,21 @@ func (e *Engine) stableFor(ctx context.Context, p *protocol.Protocol, hash strin
 				e.evictIfCurrent(hash, a)
 				return nil, false, err
 			}
-			e.countCompute()
-			m.val, m.err = stable.Analyze(p, stable.Options{
-				Interrupt: ctx.Done(),
-				Workers:   e.stableWorkerCount(),
-			})
+			// Durable state first — a disk or peer hit skips the fixpoint
+			// entirely (and does not count as a computation).
+			if art := e.loadStable(ctx, p, hash); art != nil {
+				m.val = art
+			} else {
+				e.countCompute()
+				m.val, m.err = stable.Analyze(p, stable.Options{
+					Interrupt: ctx.Done(),
+					Workers:   e.stableWorkerCount(),
+				})
+				if m.err == nil {
+					payload, err := encodeStableArtifact(m.val)
+					e.saveArtifact(ArtifactStable, hash, payload, err)
+				}
+			}
 			release()
 			close(m.ready)
 		} else {
@@ -518,8 +550,16 @@ func (e *Engine) basisFor(ctx context.Context, p *protocol.Protocol, hash string
 				e.evictIfCurrent(hash, a)
 				return nil, false, err
 			}
-			e.countCompute()
-			m.val, m.err = realise.Basis(p, dioph.Options{Interrupt: ctx.Done()})
+			if basis, ok := e.loadBasis(ctx, p, hash); ok {
+				m.val = basis
+			} else {
+				e.countCompute()
+				m.val, m.err = realise.Basis(p, dioph.Options{Interrupt: ctx.Done()})
+				if m.err == nil {
+					payload, err := encodeBasisArtifact(m.val)
+					e.saveArtifact(ArtifactBasis, hash, payload, err)
+				}
+			}
 			release()
 			close(m.ready)
 		} else {

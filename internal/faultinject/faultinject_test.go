@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledByDefault(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("enabled with empty schedule")
+	}
+	if err := Hit(PointJournalAppend); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+}
+
+func TestAtSchedule(t *testing.T) {
+	if err := Configure(PointStoreWrite + "=at:3"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		err := Hit(PointStoreWrite)
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want injected fault, got %v", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("call %d: want nil, got %v", i, err)
+		}
+	}
+	if calls, fired := Counts(PointStoreWrite); calls != 5 || fired != 1 {
+		t.Fatalf("Counts = %d, %d; want 5, 1", calls, fired)
+	}
+}
+
+func TestAfterAndEverySchedules(t *testing.T) {
+	if err := Configure(PointJournalAppend + "=after:2; " + PointStoreRead + "=every:2"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	var afterFails, everyFails int
+	for i := 1; i <= 6; i++ {
+		if Hit(PointJournalAppend) != nil {
+			afterFails++
+		}
+		if Hit(PointStoreRead) != nil {
+			everyFails++
+		}
+	}
+	if afterFails != 4 {
+		t.Fatalf("after:2 fired %d times in 6 calls, want 4", afterFails)
+	}
+	if everyFails != 3 {
+		t.Fatalf("every:2 fired %d times in 6 calls, want 3", everyFails)
+	}
+}
+
+// prob schedules must be deterministic: the same seed fires the same calls.
+func TestProbDeterministic(t *testing.T) {
+	run := func() []bool {
+		if err := Configure(PointWorkerResponse + "=prob:0.5:42"); err != nil {
+			t.Fatal(err)
+		}
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			outcomes[i] = Hit(PointWorkerResponse) != nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	Disable()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: run 1 fired=%v, run 2 fired=%v", i+1, a[i], b[i])
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob:0.5 fired %d/%d times — degenerate stream", fired, len(a))
+	}
+}
+
+func TestConfigureRejectsBadSpecs(t *testing.T) {
+	defer Disable()
+	for _, spec := range []string{
+		"nope=at:1",                  // unknown failpoint
+		PointStoreRead + "=at:0",     // zero count
+		PointStoreRead + "=sometime", // unknown mode
+		PointStoreRead + ":at:1",     // missing =
+		PointStoreRead + "=prob:1.5", // probability out of range
+	} {
+		if err := Configure(spec); err == nil {
+			t.Errorf("Configure(%q) accepted", spec)
+		}
+	}
+	// A rejected Configure must not leave stale state armed.
+	if err := Configure(PointStoreRead + "=at:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Configure("nope=at:1"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	if err := Configure(PointHeartbeat + "=every:10"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = Hit(PointHeartbeat)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls, fired := Counts(PointHeartbeat); calls != 800 || fired != 80 {
+		t.Fatalf("Counts = %d, %d; want 800, 80", calls, fired)
+	}
+}

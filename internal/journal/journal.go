@@ -1,0 +1,406 @@
+// Package journal is the coordinator's durable sweep log: an append-only,
+// CRC-framed, fsync'd write-ahead file per sweep spec (keyed by the
+// spec's content hash) recording each dispatched range and each completed
+// cell. After a crash, reopening the journal replays the completed cells,
+// so the coordinator re-emits them verbatim and executes only the rest —
+// grid indices and per-cell seeds are split-stable, which is what makes
+// the resumed run's canonical output byte-identical to an uninterrupted
+// one.
+//
+// File format: one file per sweep at <dir>/<specHash>.wal, a sequence of
+// records framed
+//
+//	uint32 LE payload length | uint32 LE CRC32-IEEE(payload) | payload
+//
+// where each payload is one JSON record ({"type": "start" | "range" |
+// "cell" | "done", ...}). Replay stops at the first torn or corrupt
+// record and truncates the file there — the tail a crash mid-append
+// leaves behind is repaired, never trusted. Appends fsync before
+// returning, so a record the coordinator acted on (streamed to a client)
+// survives a kill -9.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// maxRecord caps one record at 64 MiB, so a corrupt length prefix cannot
+// drive a giant allocation during replay.
+const maxRecord = 64 << 20
+
+// Store manages the journals of one directory, at most one open Sweep per
+// spec hash at a time.
+type Store struct {
+	dir     string
+	metrics *Metrics
+
+	mu   sync.Mutex
+	busy map[string]bool
+}
+
+// Metrics is the journal's instrumentation (pp_journal_* families).
+type Metrics struct {
+	// Appends counts records appended, by record type.
+	Appends *metrics.CounterVec
+	// AppendErrors counts failed appends (write or fsync).
+	AppendErrors *metrics.Counter
+	// ReplayedCells counts completed cells recovered from disk on open.
+	ReplayedCells *metrics.Counter
+	// Recoveries counts journal opens that found prior progress.
+	Recoveries *metrics.Counter
+	// Truncations counts corrupt or torn journal tails repaired on open.
+	Truncations *metrics.Counter
+}
+
+func newJournalMetrics() *Metrics {
+	sub := func(name, help string) metrics.Opts {
+		return metrics.Opts{Namespace: "pp", Subsystem: "journal", Name: name, Help: help}
+	}
+	return &Metrics{
+		Appends: metrics.NewCounterVec(
+			sub("appends_total", "Journal records appended, by record type."),
+			[]string{"type"}),
+		AppendErrors: metrics.NewCounter(
+			sub("append_errors_total", "Journal appends that failed to write or sync.")),
+		ReplayedCells: metrics.NewCounter(
+			sub("replayed_cells_total", "Completed cells recovered from journals on open.")),
+		Recoveries: metrics.NewCounter(
+			sub("recoveries_total", "Journal opens that found prior sweep progress.")),
+		Truncations: metrics.NewCounter(
+			sub("truncations_total", "Corrupt or torn journal tails truncated during replay.")),
+	}
+}
+
+// Metrics returns the store's instrumentation.
+func (s *Store) Metrics() *Metrics { return s.metrics }
+
+// Collectors returns every collector of the set, for registration.
+func (m *Metrics) Collectors() []metrics.Collector {
+	return []metrics.Collector{m.Appends, m.AppendErrors, m.ReplayedCells, m.Recoveries, m.Truncations}
+}
+
+// Register registers the whole set into reg.
+func (m *Metrics) Register(reg *metrics.Registry) { reg.MustRegister(m.Collectors()...) }
+
+// Open roots a journal store at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Store{dir: dir, metrics: newJournalMetrics(), busy: make(map[string]bool)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func validHash(h string) bool {
+	if h == "" || len(h) > 128 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if !('a' <= c && c <= 'z' || '0' <= c && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// record is the JSON payload of one journal entry.
+type record struct {
+	// Type is "start", "range", "cell" or "done".
+	Type string `json:"type"`
+	// Spec (start) echoes the spec hash; Total (start) the grid size.
+	Spec  string `json:"spec,omitempty"`
+	Total int    `json:"total,omitempty"`
+	// Worker and Cells describe a dispatched range.
+	Worker string             `json:"worker,omitempty"`
+	Cells  []sweep.IndexRange `json:"cells,omitempty"`
+	// Cell is a completed cell's full result — replay re-emits it
+	// verbatim, which is what keeps resumed output byte-identical.
+	Cell *sweep.CellResult `json:"cell,omitempty"`
+}
+
+// Sweep is one open sweep journal: the replayed state plus an append
+// handle. Appends are serialized internally; a Sweep belongs to one sweep
+// execution at a time (Store.Sweep enforces this in-process).
+type Sweep struct {
+	store *Store
+	hash  string
+
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+
+	completed []sweep.CellResult
+	seen      map[int]bool
+	done      bool
+	started   bool
+}
+
+// Sweep opens (or creates) the journal of one sweep spec and replays it.
+// A second Sweep for the same hash before Close errors: concurrent
+// executions of one spec would interleave appends.
+func (s *Store) Sweep(specHash string) (*Sweep, error) {
+	if !validHash(specHash) {
+		return nil, fmt.Errorf("journal: invalid spec hash %q", specHash)
+	}
+	s.mu.Lock()
+	if s.busy[specHash] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("journal: sweep %s is already in progress", specHash)
+	}
+	s.busy[specHash] = true
+	s.mu.Unlock()
+
+	j, err := s.open(specHash)
+	if err != nil {
+		s.mu.Lock()
+		delete(s.busy, specHash)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+func (s *Store) open(specHash string) (*Sweep, error) {
+	path := filepath.Join(s.dir, specHash+".wal")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Sweep{store: s, hash: specHash, f: f, seen: make(map[int]bool)}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if len(j.completed) > 0 {
+		s.metrics.Recoveries.Inc()
+	}
+	return j, nil
+}
+
+// replay scans the journal from the start, folding records into the
+// in-memory state, and truncates at the first corruption.
+func (j *Sweep) replay() error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var (
+		offset int64
+		header [8]byte
+	)
+	for {
+		if _, err := io.ReadFull(j.f, header[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // clean end
+			}
+			// Torn header: a crash mid-append. Repair below.
+			return j.truncate(offset)
+		}
+		n := binary.LittleEndian.Uint32(header[:4])
+		if n == 0 || n > maxRecord {
+			return j.truncate(offset)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			return j.truncate(offset)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(header[4:]) {
+			return j.truncate(offset)
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return j.truncate(offset)
+		}
+		j.apply(rec)
+		offset += 8 + int64(n)
+	}
+	// Position at the end for appends (ReadFull stopped exactly there on a
+	// clean EOF, but be explicit).
+	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// truncate repairs a corrupt tail: everything before offset replayed
+// cleanly and is kept; the tail is cut so the next append extends a valid
+// log.
+func (j *Sweep) truncate(offset int64) error {
+	j.store.metrics.Truncations.Inc()
+	if err := j.f.Truncate(offset); err != nil {
+		return fmt.Errorf("journal: truncating corrupt tail: %w", err)
+	}
+	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// apply folds one replayed record into the in-memory state. Duplicate
+// cell indices keep the first occurrence (appends happen post-dedup, but
+// replay never trusts that).
+func (j *Sweep) apply(rec record) {
+	switch rec.Type {
+	case "start":
+		j.started = true
+	case "cell":
+		if rec.Cell != nil && !j.seen[rec.Cell.Index] {
+			j.seen[rec.Cell.Index] = true
+			j.completed = append(j.completed, *rec.Cell)
+			j.store.metrics.ReplayedCells.Inc()
+		}
+	case "done":
+		j.done = true
+	}
+}
+
+// Completed returns the cells recovered by replay, in append order. The
+// caller re-emits them verbatim and must not re-append them.
+func (j *Sweep) Completed() []sweep.CellResult { return j.completed }
+
+// Done reports whether a prior run appended its completion record — every
+// cell is in Completed and nothing remains to execute.
+func (j *Sweep) Done() bool { return j.done }
+
+// Started reports whether the journal carries a start record from a prior
+// run.
+func (j *Sweep) Started() bool { return j.started }
+
+// Start logs the sweep's start (idempotent: a recovered journal already
+// has one).
+func (j *Sweep) Start(total int) error {
+	if j.started {
+		return nil
+	}
+	if err := j.append(record{Type: "start", Spec: j.hash, Total: total}); err != nil {
+		return err
+	}
+	j.started = true
+	return nil
+}
+
+// AppendRange logs a dispatched range: which worker got which cell
+// indices. Ranges are observability (and post-mortem fodder); resume
+// correctness rides on cell records alone.
+func (j *Sweep) AppendRange(worker string, cells []sweep.IndexRange) error {
+	return j.append(record{Type: "range", Worker: worker, Cells: cells})
+}
+
+// AppendCell logs one completed cell, fsync'd: once this returns, the
+// cell survives a crash. Duplicate indices (already journaled or
+// replayed) are ignored.
+func (j *Sweep) AppendCell(cr sweep.CellResult) error {
+	j.mu.Lock()
+	dup := j.seen[cr.Index]
+	j.mu.Unlock()
+	if dup {
+		return nil
+	}
+	if err := j.append(record{Type: "cell", Cell: &cr}); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.seen[cr.Index] = true
+	j.mu.Unlock()
+	return nil
+}
+
+// AppendDone seals the journal: the sweep ran to completion.
+func (j *Sweep) AppendDone() error {
+	if err := j.append(record{Type: "done"}); err != nil {
+		return err
+	}
+	j.done = true
+	return nil
+}
+
+func (j *Sweep) append(rec record) error {
+	err := j.appendLocked(rec)
+	if err != nil {
+		j.store.metrics.AppendErrors.Inc()
+		return err
+	}
+	j.store.metrics.Appends.WithLabelValues(rec.Type).Inc()
+	return nil
+}
+
+func (j *Sweep) appendLocked(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if len(payload) > maxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: append after close")
+	}
+	if err := faultinject.Hit(faultinject.PointJournalAppend); err != nil {
+		return err
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := faultinject.Hit(faultinject.PointJournalSync); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal; the spec hash becomes openable again.
+func (j *Sweep) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	err := j.f.Close()
+	j.mu.Unlock()
+	j.store.mu.Lock()
+	delete(j.store.busy, j.hash)
+	j.store.mu.Unlock()
+	return err
+}
+
+// Remove deletes a sweep's journal file (e.g. after a completed sweep's
+// results were archived elsewhere). The journal must not be open.
+func (s *Store) Remove(specHash string) error {
+	if !validHash(specHash) {
+		return fmt.Errorf("journal: invalid spec hash %q", specHash)
+	}
+	s.mu.Lock()
+	busy := s.busy[specHash]
+	s.mu.Unlock()
+	if busy {
+		return fmt.Errorf("journal: sweep %s is in progress", specHash)
+	}
+	if err := os.Remove(filepath.Join(s.dir, specHash+".wal")); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

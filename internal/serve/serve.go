@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/protocols"
 	"repro/internal/sweep"
@@ -66,6 +67,13 @@ type Options struct {
 	// protocol hash, duration, status, cache hit) and per cluster
 	// membership event.
 	RequestLog *slog.Logger
+	// Journal, when set, makes every /v1/sweep durable: dispatched ranges
+	// and completed cells are logged to a per-spec write-ahead file, and a
+	// resubmitted spec (same content hash) replays its journaled cells and
+	// executes only the rest — crash recovery with byte-identical canonical
+	// output. A spec whose journal is already being written concurrently is
+	// answered 409.
+	Journal *journal.Store
 	// MaxQueue bounds admission when every engine execution slot is busy:
 	// once MaxQueue requests are already waiting for a slot, further
 	// /v1/analyze and local /v1/sweep requests are shed with 503 +
@@ -190,6 +198,9 @@ func newHandler(eng *engine.Engine, opts Options) (http.Handler, *Metrics) {
 	mux.HandleFunc("GET /healthz", sm.instrumented("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
+	mux.HandleFunc("GET /v1/artifacts/{kind}/{hash}", sm.instrumented("/v1/artifacts", func(w http.ResponseWriter, r *http.Request) {
+		handleArtifact(eng, opts, w, r)
+	}))
 	if opts.Cluster != nil {
 		mountCluster(mux, opts)
 	}
@@ -198,6 +209,12 @@ func newHandler(eng *engine.Engine, opts Options) (http.Handler, *Metrics) {
 		sm.Register(opts.Metrics)
 		if opts.Cluster != nil {
 			opts.Cluster.Metrics().Register(opts.Metrics)
+		}
+		if st := eng.ArtifactStore(); st != nil {
+			st.Metrics().Register(opts.Metrics)
+		}
+		if opts.Journal != nil {
+			opts.Journal.Metrics().Register(opts.Metrics)
 		}
 		mux.Handle("GET /metrics", sm.instrumented("/metrics", opts.Metrics.Handler().ServeHTTP))
 	}
@@ -297,6 +314,23 @@ func handleSweep(eng *engine.Engine, opts Options, w http.ResponseWriter, r *htt
 		opts.RequestLog.Warn("request shed", "path", "/v1/sweep", "sweep", spec.Name)
 		return
 	}
+	// Open the journal before the 200 commits: a concurrent duplicate
+	// submission of the same spec must fail as a plain 409, not corrupt
+	// the write-ahead file mid-stream.
+	var jsweep *journal.Sweep
+	if opts.Journal != nil {
+		specHash, herr := sweep.SpecHash(spec)
+		if herr != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: herr.Error()})
+			return
+		}
+		jsweep, err = opts.Journal.Sweep(specHash)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+			return
+		}
+		defer jsweep.Close()
+	}
 	opts.sm.SweepsInflight.Inc()
 	defer opts.sm.SweepsInflight.Dec()
 	ctx, cancel := context.WithTimeout(r.Context(), opts.SweepTimeout)
@@ -322,7 +356,9 @@ func handleSweep(eng *engine.Engine, opts Options, w http.ResponseWriter, r *htt
 
 	start := time.Now()
 	var res *sweep.Result
-	if opts.Cluster != nil {
+	if jsweep != nil {
+		res, err = runSweepJournaled(ctx, eng, opts, spec, jsweep, onCell)
+	} else if opts.Cluster != nil {
 		dopts := opts.ClusterDispatch
 		dopts.LocalEngine = eng
 		dopts.LocalWorkers = opts.SweepWorkers

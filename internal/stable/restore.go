@@ -1,0 +1,44 @@
+package stable
+
+import (
+	"fmt"
+
+	"repro/internal/ideal"
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// Restore rebuilds an Analysis from its durable form: the minimal bases of
+// U_0 and U_1 (as returned by Unstable(b).MinBasis()) plus the recorded
+// iteration and frontier counts. It recomputes the derived structures —
+// SC_b, SC_0 ∪ SC_1, and the SC basis — the same way Analyze does.
+//
+// The result is indistinguishable from a fresh Analyze: MinBasis preserves
+// insertion order, re-inserting an antichain in that order reproduces the
+// arena's element order exactly, and ComplementUp is deterministic in that
+// order, so every accessor (Basis, SCBasis, MeasuredNorm, Classify, …)
+// returns bit-identical values. TestRestoreEqualsAnalyze pins this over
+// the whole builtin catalog.
+func Restore(p *protocol.Protocol, basis [2][]multiset.Vec, iterations, frontier [2]int) (*Analysis, error) {
+	d := p.NumStates()
+	a := &Analysis{p: p}
+	for b := 0; b <= 1; b++ {
+		u := ideal.NewUpSet(d)
+		for _, m := range basis[b] {
+			if len(m) != d {
+				return nil, fmt.Errorf("stable: restore U_%d: element dimension %d, protocol has %d states", b, len(m), d)
+			}
+			u.Insert(m)
+		}
+		if iterations[b] <= 0 {
+			return nil, fmt.Errorf("stable: restore U_%d: non-positive iteration count %d", b, iterations[b])
+		}
+		a.unstable[b] = u
+		a.iterations[b] = iterations[b]
+		a.frontier[b] = frontier[b]
+		a.sc[b] = ideal.ComplementUp(u)
+	}
+	a.scAll = a.sc[0].Union(a.sc[1])
+	a.scAllBasis = basisOf(a.scAll)
+	return a, nil
+}

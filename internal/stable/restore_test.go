@@ -1,0 +1,87 @@
+package stable
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/protocols"
+)
+
+// TestRestoreEqualsAnalyze pins the durability contract of the disk
+// artifact store: an Analysis rebuilt from its MinBasis form must be
+// bit-identical to a fresh Analyze — same U_b element order, same SC
+// decompositions, same SC basis — over the whole builtin catalog.
+func TestRestoreEqualsAnalyze(t *testing.T) {
+	for name, e := range protocols.Catalog() {
+		name, e := name, e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := e.Protocol
+			fresh, err := Analyze(p, Options{})
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			var basis [2][]multiset.Vec
+			var iters, front [2]int
+			for b := 0; b <= 1; b++ {
+				basis[b] = fresh.Unstable(b).MinBasis()
+				iters[b] = fresh.Iterations(b)
+				front[b] = fresh.FrontierProcessed(b)
+			}
+			restored, err := Restore(p, basis, iters, front)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			for b := 0; b <= 1; b++ {
+				if !restored.Unstable(b).Equal(fresh.Unstable(b)) {
+					t.Fatalf("U_%d differs after restore", b)
+				}
+				fb, rb := fresh.Unstable(b).MinBasis(), restored.Unstable(b).MinBasis()
+				if len(fb) != len(rb) {
+					t.Fatalf("U_%d basis sizes differ: %d vs %d", b, len(fb), len(rb))
+				}
+				for i := range fb {
+					if !fb[i].Equal(rb[i]) {
+						t.Fatalf("U_%d basis element %d differs: %v vs %v", b, i, fb[i], rb[i])
+					}
+				}
+				if restored.Iterations(b) != fresh.Iterations(b) ||
+					restored.FrontierProcessed(b) != fresh.FrontierProcessed(b) {
+					t.Fatalf("U_%d counters differ", b)
+				}
+			}
+			fsc, rsc := fresh.SCBasis(), restored.SCBasis()
+			if len(fsc) != len(rsc) {
+				t.Fatalf("SC basis sizes differ: %d vs %d", len(fsc), len(rsc))
+			}
+			for i := range fsc {
+				if !fsc[i].B.Equal(rsc[i].B) || !fsc[i].S.Equal(rsc[i].S) {
+					t.Fatalf("SC basis element %d differs", i)
+				}
+			}
+			if fresh.MeasuredNorm() != restored.MeasuredNorm() {
+				t.Fatalf("MeasuredNorm differs: %d vs %d", fresh.MeasuredNorm(), restored.MeasuredNorm())
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsBadInput(t *testing.T) {
+	p := protocols.Majority().Protocol
+	fresh, err := Analyze(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var basis [2][]multiset.Vec
+	for b := 0; b <= 1; b++ {
+		basis[b] = fresh.Unstable(b).MinBasis()
+	}
+	if _, err := Restore(p, basis, [2]int{0, 1}, [2]int{0, 0}); err == nil {
+		t.Fatal("Restore accepted zero iteration count")
+	}
+	bad := basis
+	bad[0] = append([]multiset.Vec{multiset.New(p.NumStates() + 1)}, basis[0]...)
+	if _, err := Restore(p, bad, [2]int{1, 1}, [2]int{0, 0}); err == nil {
+		t.Fatal("Restore accepted wrong-dimension element")
+	}
+}
