@@ -13,6 +13,9 @@
 //	ppserve -worker -join http://coordinator:8080   # cluster worker
 //	ppserve -journal-dir DIR -artifact-dir DIR      # durable: resumable sweeps,
 //	                                                # disk-backed artifact cache
+//	ppserve -rate-limit 10 -rate-burst 20           # per-client 429 + Retry-After
+//	ppserve -artifact-dir DIR -artifact-max-bytes 1073741824   # LRU artifact GC
+//	ppserve -journal-dir DIR -journal-retain 168h -journal-max-bytes 268435456
 //
 // Endpoints:
 //
@@ -102,6 +105,13 @@ func run(args []string) error {
 		rangeTimeout  = fs.Duration("range-timeout", 0, "flat per-range dispatch deadline (coordinator mode; 0 = 2m)")
 		journalDir    = fs.String("journal-dir", "", "durable sweep journal directory: /v1/sweep logs dispatched ranges and completed cells, and a resubmitted spec resumes instead of recomputing")
 		artifactDir   = fs.String("artifact-dir", "", "disk-backed artifact store directory behind the engine's in-memory cache; restarts serve repeated protocols from disk")
+		rateLimit     = fs.Float64("rate-limit", 0, "per-client request rate (requests/second) on the public endpoints; over-budget requests get 429 + Retry-After (0 = unlimited)")
+		rateBurst     = fs.Int("rate-burst", 0, "per-client burst allowance of -rate-limit (0 = 2x the rate, at least 1)")
+		artifactMax   = fs.Int64("artifact-max-bytes", 0, "artifact store size budget: a background GC evicts least-recently-used artifacts past it (0 = unbounded)")
+		journalRetain = fs.Duration("journal-retain", 0, "age out completed sweep WALs older than this; in-progress sweeps are never touched (0 = keep forever)")
+		journalMax    = fs.Int64("journal-max-bytes", 0, "journal directory size budget: oldest completed WALs removed past it (0 = unbounded)")
+		breakerFails  = fs.Int("breaker-failures", 0, "consecutive dispatch failures tripping a worker's circuit breaker (coordinator mode; 0 = 3)")
+		breakerWait   = fs.Duration("breaker-backoff", 0, "tripped breaker backoff before a half-open probe; doubles per failed probe (coordinator mode; 0 = 15s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +145,13 @@ func run(args []string) error {
 			ln.Close()
 			return err
 		}
+		if *artifactMax > 0 {
+			if err := st.EnableGC(store.GCOptions{MaxBytes: *artifactMax}); err != nil {
+				ln.Close()
+				return err
+			}
+			defer st.CloseGC()
+		}
 		eng.SetArtifactStore(st)
 		// Workers fill disk misses from the coordinator's /v1/artifacts,
 		// which forwards to the rendezvous owner when it misses locally.
@@ -158,6 +175,8 @@ func run(args []string) error {
 		SweepWorkers:   *sweepWorkers,
 		StableWorkers:  *stableWorkers,
 		MaxQueue:       *maxQueue,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 		Metrics:        reg,
 	}
 	if *journalDir != "" {
@@ -167,6 +186,9 @@ func run(args []string) error {
 			return err
 		}
 		opts.Journal = js
+		if *journalRetain > 0 || *journalMax > 0 {
+			go compactLoop(js, journal.Retention{Retain: *journalRetain, MaxBytes: *journalMax})
+		}
 	}
 	var logger *slog.Logger
 	if *logRequests {
@@ -174,7 +196,11 @@ func run(args []string) error {
 		opts.RequestLog = logger
 	}
 	if *coordinator {
-		opts.Cluster = cluster.NewCoordinator(cluster.CoordinatorOptions{TTL: *heartbeatTTL})
+		opts.Cluster = cluster.NewCoordinator(cluster.CoordinatorOptions{
+			TTL:             *heartbeatTTL,
+			BreakerFailures: *breakerFails,
+			BreakerBackoff:  *breakerWait,
+		})
 		opts.ClusterDispatch = cluster.DispatchOptions{
 			RangeCells:   *rangeCells,
 			RangeTimeout: *rangeTimeout,
@@ -214,6 +240,19 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return serveOn(ctx, ln, eng, opts, drain)
+}
+
+// compactLoop runs journal retention in the background: one pass at
+// startup (a restart with a tightened policy applies it immediately), then
+// once a minute. Compaction skips in-progress sweeps and never blocks
+// request handling, so a failed pass is only worth a log line.
+func compactLoop(js *journal.Store, ret journal.Retention) {
+	for {
+		if _, err := js.Compact(ret); err != nil {
+			fmt.Fprintf(os.Stderr, "ppserve: journal compaction: %v\n", err)
+		}
+		time.Sleep(time.Minute)
+	}
 }
 
 // advertiseURL derives a worker's advertised base URL from its listen

@@ -1,0 +1,152 @@
+package cluster_test
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/govern"
+	"repro/internal/metrics/testutil"
+)
+
+// failSweeps wraps a worker handler so /v1/sweep answers 500 while armed —
+// a worker that accepts membership but cannot execute ranges.
+func failSweeps(armed *atomic.Bool, hits *atomic.Int64) func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" {
+				hits.Add(1)
+				if armed.Load() {
+					http.Error(w, "disk on fire", http.StatusInternalServerError)
+					return
+				}
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+}
+
+// TestDispatchBreakerTripsFlappingWorker is the flapping drill: a worker
+// that fails every range it accepts trips its breaker on the configured
+// consecutive-failure threshold, and the trip outlives re-registration —
+// the rejoined worker is live but unroutable, a second sweep sends it
+// nothing, and both sweeps still stream canonical results identical to the
+// single-process run on the survivor.
+func TestDispatchBreakerTripsFlappingWorker(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{BreakerFailures: 1})
+	var armed atomic.Bool
+	var badHits atomic.Int64
+	armed.Store(true)
+	bad := startWorker(t, coord, "bad", failSweeps(&armed, &badHits))
+	startWorker(t, coord, "good", nil)
+
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 5})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+	if badHits.Load() == 0 {
+		t.Fatal("the failing worker was never even tried")
+	}
+	if got := coord.Breakers().State("bad"); got != govern.StateOpen {
+		t.Fatalf("breaker after failed range = %v, want open", got)
+	}
+	if got := testutil.ToFloat64(coord.Metrics().BreakerTrips.WithLabelValues("bad")); got != 1 {
+		t.Errorf("pp_cluster_breaker_trips_total{bad} = %v, want 1", got)
+	}
+
+	// The flap: the worker rejoins immediately. It is alive again — but the
+	// open breaker keeps it out of the routable set, so a second sweep must
+	// not send it a single range.
+	coord.Register("bad", bad.URL)
+	if !coord.Alive("bad") {
+		t.Fatal("rejoined worker not alive")
+	}
+	if coord.Dispatchable("bad") {
+		t.Fatal("open breaker but worker still dispatchable")
+	}
+	for _, w := range coord.Routable() {
+		if w.ID == "bad" {
+			t.Fatal("open breaker but worker still routable")
+		}
+	}
+
+	before := badHits.Load()
+	gotCells, gotSummary = dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 5})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+	if badHits.Load() != before {
+		t.Errorf("tripped worker received %d ranges, want 0", badHits.Load()-before)
+	}
+
+	// The breaker family is scrapeable: open = 2.
+	want := `
+		# HELP pp_cluster_breaker_state Per-worker circuit-breaker state: 0 closed, 1 half-open, 2 open.
+		# TYPE pp_cluster_breaker_state gauge
+		pp_cluster_breaker_state{worker="bad"} 2
+	`
+	if err := testutil.CollectAndCompare(coord.Metrics().BreakerState, strings.NewReader(want)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDispatchBreakerHalfOpenProbeRecovery drives the full breaker
+// lifecycle on a fake clock: trip, unroutable through the backoff window,
+// probe-eligible once it elapses, and a successful half-open probe closing
+// the breaker — the healed worker serves a whole sweep again.
+func TestDispatchBreakerHalfOpenProbeRecovery(t *testing.T) {
+	spec := integrationSpec()
+	wantCells, wantSummary := singleProcessReference(t, spec)
+
+	var mu atomic.Int64 // fake clock: seconds since epoch
+	mu.Store(1000)
+	now := func() time.Time { return time.Unix(mu.Load(), 0) }
+	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		TTL:             time.Hour, // the clock jumps must not expire leases
+		BreakerFailures: 1,
+		BreakerBackoff:  15 * time.Second,
+		Now:             now,
+	})
+	var armed atomic.Bool
+	var badHits atomic.Int64
+	armed.Store(true)
+	bad := startWorker(t, coord, "bad", failSweeps(&armed, &badHits))
+	startWorker(t, coord, "good", nil)
+
+	// Trip it, then heal the worker: the fault was transient, but the
+	// breaker doesn't know that yet.
+	gotCells, gotSummary := dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 5})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+	if got := coord.Breakers().State("bad"); got != govern.StateOpen {
+		t.Fatalf("breaker = %v, want open", got)
+	}
+	armed.Store(false)
+	coord.Register("bad", bad.URL)
+
+	// Inside the backoff window: still unroutable.
+	if coord.Dispatchable("bad") {
+		t.Fatal("dispatchable before the backoff elapsed")
+	}
+
+	// Past the backoff: probe-eligible. Leave the healed worker alone in
+	// the membership so the probe provably lands on it.
+	mu.Add(16)
+	coord.Deregister("good")
+	if !coord.Dispatchable("bad") {
+		t.Fatal("not dispatchable after the backoff elapsed")
+	}
+	before := badHits.Load()
+	gotCells, gotSummary = dispatchCanonical(t, coord, spec, cluster.DispatchOptions{RangeCells: 5})
+	assertEqualRuns(t, wantCells, wantSummary, gotCells, gotSummary)
+	if badHits.Load() == before {
+		t.Fatal("probe-eligible worker received no ranges")
+	}
+	if got := coord.Breakers().State("bad"); got != govern.StateClosed {
+		t.Fatalf("breaker after successful probe = %v, want closed", got)
+	}
+	if !coord.Alive("bad") {
+		t.Error("recovered worker lost its membership")
+	}
+}

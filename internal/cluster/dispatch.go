@@ -116,7 +116,7 @@ func (c *Coordinator) Sweep(ctx context.Context, spec sweep.Spec, opts DispatchO
 	if err != nil {
 		return nil, err
 	}
-	live := c.Live()
+	live := c.Routable()
 	if len(live) == 0 {
 		// Degraded mode: no workers registered — the coordinator is just a
 		// single-process executor. A collector-less merger still reorders
@@ -216,7 +216,7 @@ func (d *dispatcher) enqueueLocked(t *task) {
 	}
 	w, ok := Worker{}, false
 	if t.attempts < d.opts.MaxAttempts {
-		w, ok = route(t.hash, d.coord.Live())
+		w, ok = route(t.hash, d.coord.Routable())
 	}
 	routed := LocalWorkerLabel
 	if ok {
@@ -255,8 +255,9 @@ func (d *dispatcher) drive(id string) {
 				d.mu.Unlock()
 				return
 			}
-			if !d.coord.Alive(id) {
-				// Died or draining: hand the queue to survivors.
+			if !d.coord.Dispatchable(id) {
+				// Died, draining, or breaker no longer admitting traffic:
+				// hand the queue to survivors.
 				orphans := d.queues[id]
 				delete(d.queues, id)
 				d.driving[id] = false
@@ -278,6 +279,9 @@ func (d *dispatcher) drive(id string) {
 		d.mu.Unlock()
 
 		d.coord.metrics.RangesDispatched.WithLabelValues(id).Inc()
+		// If the worker's breaker sat open past its backoff, this dispatch is
+		// its half-open probe: no other range routes there until it resolves.
+		d.coord.breakers.Dispatching(id)
 		served, missing, err := d.runTask(w, t)
 		var shed *shedError
 		switch {
@@ -286,6 +290,7 @@ func (d *dispatcher) drive(id string) {
 			// error after the last cell — typically sweep completion
 			// cancelling the read before the summary row — doesn't retract
 			// the work, and there is nothing left to retry.
+			d.coord.breakers.Success(id)
 			d.coord.recordRange(id, served, true)
 		case errors.As(err, &shed):
 			// Backpressure: requeue at the front and wait out Retry-After.
@@ -322,11 +327,18 @@ func (d *dispatcher) drive(id string) {
 	}
 }
 
-// failTask marks a worker dead and reroutes a range's unfinished cells to
-// survivors.
+// failTask records the failure against the worker's circuit breaker, marks
+// it dead, and reroutes the range's unfinished cells to survivors. Breaker
+// state outlives the membership record: a worker that rejoins after every
+// failure accumulates the streak anyway, trips, and stays unroutable for
+// the backoff window even while registered.
 func (d *dispatcher) failTask(id string, t *task, missing []sweep.Cell, err error) {
 	d.opts.Log.Warn("cluster sweep: range failed, retrying on survivors",
 		"worker", id, "cells", len(missing), "attempt", t.attempts+1, "error", err)
+	if d.coord.breakers.Failure(id) {
+		d.coord.metrics.BreakerTrips.WithLabelValues(id).Inc()
+		d.opts.Log.Warn("cluster sweep: worker breaker tripped", "worker", id)
+	}
 	d.coord.MarkDead(id)
 	d.requeue(id, t, missing)
 }
@@ -419,7 +431,10 @@ func (d *dispatcher) runTask(w Worker, t *task) (served int, missing []sweep.Cel
 	if ferr := faultinject.Hit(faultinject.PointWorkerResponse); ferr != nil {
 		return 0, t.cells, ferr
 	}
-	if resp.StatusCode == http.StatusServiceUnavailable {
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+		// 503 = slots saturated, 429 = the worker's per-client rate limiter:
+		// both are backpressure with an honest Retry-After, not a fault —
+		// wait it out and retry the same worker.
 		return 0, t.cells, &shedError{retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	if resp.StatusCode != http.StatusOK {

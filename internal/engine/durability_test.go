@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics/testutil"
 	"repro/internal/store"
 )
@@ -196,5 +198,84 @@ func TestPeerErrorDegradesToRecompute(t *testing.T) {
 	}
 	if v := testutil.ToFloat64(s.Metrics().PeerFetches.WithLabelValues("error")); v != 1 {
 		t.Fatalf("peer_fetches{error} = %v, want 1", v)
+	}
+}
+
+// TestStoreGCRacingPeerFetch is the pressure drill for size governance: a
+// worker warming its disk store from a coordinator peer while the GC —
+// budgeted below the working set, with deletes failing on a faultinject
+// schedule — evicts the same hashes concurrently. Every analysis must
+// come back correct (refetched or recomputed), and no read may ever
+// surface a torn artifact: eviction unlinks whole files, so a racing Get
+// sees either the full old bytes or a clean miss.
+func TestStoreGCRacingPeerFetch(t *testing.T) {
+	if err := faultinject.Configure(faultinject.PointStoreDelete + "=every:4"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disable()
+
+	source := New()
+	ss, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	source.SetArtifactStore(ss)
+	protos := []string{"majority", "binary:5", "flock:4", "flock:5", "flock:6"}
+	want := make(map[string]*Result, len(protos))
+	var workingSet int64
+	for _, p := range protos {
+		want[p] = do(t, source, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: p}})
+	}
+	if err := filepath.Walk(ss.Dir(), func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			workingSet += info.Size()
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ws, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget below the working set: warming all five protocols must force
+	// evictions, and the 1ms pass interval keeps the GC racing every fetch.
+	if err := ws.EnableGC(store.GCOptions{MaxBytes: workingSet / 2, LowWater: 0.5, Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer ws.CloseGC()
+
+	peerDown := false
+	peer := func(ctx context.Context, kind, hash string) ([]byte, error) {
+		if peerDown {
+			return nil, nil
+		}
+		payload, ok, err := source.ArtifactBytes(ctx, kind, hash)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return payload, nil
+	}
+
+	for round := 0; round < 6; round++ {
+		// Halfway in, the coordinator goes away: evicted artifacts must now
+		// be recomputed rather than refetched — still never served torn.
+		peerDown = round >= 3
+		eng := New() // fresh memory cache: every artifact rides the disk/peer path
+		eng.SetArtifactStore(ws)
+		eng.SetPeerFetch(peer)
+		for _, p := range protos {
+			got := do(t, eng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: p}})
+			if !reflect.DeepEqual(got.Stable, want[p].Stable) {
+				t.Fatalf("round %d: %s diverged under GC pressure", round, p)
+			}
+		}
+	}
+	if v := testutil.ToFloat64(ws.Metrics().GCEvictions); v == 0 {
+		t.Fatal("budget below working set but the GC evicted nothing")
+	}
+	if v := testutil.ToFloat64(ws.Metrics().Reads.WithLabelValues("corrupt")); v != 0 {
+		t.Fatalf("eviction churn surfaced %v torn reads, want 0", v)
 	}
 }

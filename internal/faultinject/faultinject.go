@@ -50,6 +50,9 @@ const (
 	PointStoreRead = "store.read"
 	// PointStoreWrite fails artifact-store writes.
 	PointStoreWrite = "store.write"
+	// PointStoreDelete fails the artifact-store GC's eviction deletes (the
+	// entry stays on disk and stays tracked; the GC retries next pass).
+	PointStoreDelete = "store.delete"
 	// PointWorkerResponse fails the coordinator's handling of a worker's
 	// sweep-range response (as if the stream broke mid-flight).
 	PointWorkerResponse = "worker.response"
@@ -63,6 +66,7 @@ var Catalog = []string{
 	PointJournalSync,
 	PointStoreRead,
 	PointStoreWrite,
+	PointStoreDelete,
 	PointWorkerResponse,
 	PointHeartbeat,
 }

@@ -1,0 +1,216 @@
+package govern
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit breaker's position.
+type BreakerState int
+
+const (
+	// StateClosed: traffic flows; failures are counted.
+	StateClosed BreakerState = iota
+	// StateHalfOpen: one probe is in flight; no further traffic until it
+	// resolves.
+	StateHalfOpen
+	// StateOpen: traffic is refused until the backoff elapses.
+	StateOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions configures a Breakers set.
+type BreakerOptions struct {
+	// Failures is the consecutive-failure count that trips a breaker open
+	// (0 = 3).
+	Failures int
+	// Backoff is the open → probe-eligible delay after the first trip
+	// (0 = 15s). A failed probe doubles it, up to MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (0 = 5m).
+	MaxBackoff time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Failures <= 0 {
+		o.Failures = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 15 * time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Minute
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// breaker is one key's state machine.
+type breaker struct {
+	state    BreakerState
+	failures int           // consecutive failures while closed
+	backoff  time.Duration // current open-duration (doubles per failed probe)
+	until    time.Time     // when an open breaker becomes probe-eligible
+}
+
+// BreakerStatus is one breaker's exported snapshot.
+type BreakerStatus struct {
+	Key   string
+	State BreakerState
+	// ConsecutiveFailures is the closed-state failure streak.
+	ConsecutiveFailures int
+	// Backoff is the current open-duration.
+	Backoff time.Duration
+}
+
+// Breakers is a set of circuit breakers keyed by string (worker ID, peer
+// address, ...). The zero value is not usable; create with NewBreakers.
+// All methods are safe for concurrent use.
+//
+// Lifecycle per key: Closed (counting consecutive failures) → Open after
+// Failures in a row → probe-eligible once Backoff elapses (Routable turns
+// true, Dispatching moves to HalfOpen) → a probe Success closes the
+// breaker, a probe Failure re-opens it with doubled backoff.
+type Breakers struct {
+	opts BreakerOptions
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+// NewBreakers returns an empty set; unknown keys read as closed.
+func NewBreakers(opts BreakerOptions) *Breakers {
+	return &Breakers{opts: opts.withDefaults(), m: make(map[string]*breaker)}
+}
+
+func (b *Breakers) get(key string) *breaker {
+	br := b.m[key]
+	if br == nil {
+		br = &breaker{backoff: b.opts.Backoff}
+		b.m[key] = br
+	}
+	return br
+}
+
+// Routable reports whether new work may be routed to key: closed, or open
+// with the backoff elapsed (a probe candidate). Half-open keys are not
+// routable — their probe must resolve first. No side effects.
+func (b *Breakers) Routable(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil {
+		return true
+	}
+	switch br.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		return !b.opts.Now().Before(br.until)
+	}
+	return false
+}
+
+// Dispatching records that work is actually being sent to key. An open,
+// probe-eligible breaker moves to half-open: this dispatch is the probe,
+// and Routable excludes the key until Success or Failure resolves it.
+func (b *Breakers) Dispatching(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br != nil && br.state == StateOpen && !b.opts.Now().Before(br.until) {
+		br.state = StateHalfOpen
+	}
+}
+
+// Success records a completed dispatch: the breaker closes and both the
+// failure streak and the backoff reset.
+func (b *Breakers) Success(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil {
+		return
+	}
+	br.state = StateClosed
+	br.failures = 0
+	br.backoff = b.opts.Backoff
+}
+
+// Failure records a failed dispatch. It returns true when this failure
+// tripped the breaker open (threshold reached, or a half-open probe
+// failed), so callers can count trips.
+func (b *Breakers) Failure(key string) (tripped bool) {
+	now := b.opts.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.get(key)
+	switch br.state {
+	case StateClosed:
+		br.failures++
+		if br.failures >= b.opts.Failures {
+			br.state = StateOpen
+			br.until = now.Add(br.backoff)
+			return true
+		}
+	case StateHalfOpen:
+		// The probe failed: back open, and wait longer before the next one.
+		br.state = StateOpen
+		br.backoff = min(2*br.backoff, b.opts.MaxBackoff)
+		br.until = now.Add(br.backoff)
+		return true
+	case StateOpen:
+		// A straggling failure from a dispatch that raced the trip; the
+		// breaker is already open, just keep it there.
+		br.until = now.Add(br.backoff)
+	}
+	return false
+}
+
+// State returns key's current state (unknown keys are closed).
+func (b *Breakers) State(key string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[key]
+	if br == nil {
+		return StateClosed
+	}
+	return br.state
+}
+
+// Forget drops key's state entirely (it reads as closed afterwards).
+func (b *Breakers) Forget(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.m, key)
+}
+
+// Snapshot returns every tracked breaker's status, for metrics collectors.
+func (b *Breakers) Snapshot() []BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(b.m))
+	for k, br := range b.m {
+		out = append(out, BreakerStatus{
+			Key: k, State: br.state,
+			ConsecutiveFailures: br.failures,
+			Backoff:             br.backoff,
+		})
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package govern
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakers(BreakerOptions{Failures: 3, Backoff: 10 * time.Second, Now: clk.now})
+
+	if !b.Routable("w") || b.State("w") != StateClosed {
+		t.Fatal("unknown key not closed/routable")
+	}
+	if b.Failure("w") {
+		t.Fatal("first failure tripped")
+	}
+	if b.Failure("w") {
+		t.Fatal("second failure tripped")
+	}
+	if !b.Routable("w") {
+		t.Fatal("closed breaker below threshold not routable")
+	}
+	if !b.Failure("w") {
+		t.Fatal("third failure did not trip")
+	}
+	if b.State("w") != StateOpen {
+		t.Fatalf("state after trip = %v, want open", b.State("w"))
+	}
+	if b.Routable("w") {
+		t.Fatal("open breaker routable before backoff")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakers(BreakerOptions{Failures: 3, Now: clk.now})
+	b.Failure("w")
+	b.Failure("w")
+	b.Success("w")
+	// The streak reset: two more failures stay below the threshold.
+	if b.Failure("w") {
+		t.Fatal("tripped despite reset streak")
+	}
+	if b.Failure("w") {
+		t.Fatal("tripped despite reset streak")
+	}
+	if b.State("w") != StateClosed {
+		t.Fatal("breaker opened below threshold")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakers(BreakerOptions{Failures: 1, Backoff: 10 * time.Second, MaxBackoff: time.Minute, Now: clk.now})
+	b.Failure("w") // trips (threshold 1)
+
+	clk.advance(9 * time.Second)
+	if b.Routable("w") {
+		t.Fatal("routable before backoff elapsed")
+	}
+	clk.advance(time.Second)
+	if !b.Routable("w") {
+		t.Fatal("not probe-eligible after backoff")
+	}
+	b.Dispatching("w")
+	if b.State("w") != StateHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State("w"))
+	}
+	if b.Routable("w") {
+		t.Fatal("half-open breaker routable while probe in flight")
+	}
+
+	// Failed probe: re-open with doubled backoff.
+	if !b.Failure("w") {
+		t.Fatal("failed probe did not count as a trip")
+	}
+	if b.State("w") != StateOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	clk.advance(10 * time.Second)
+	if b.Routable("w") {
+		t.Fatal("probe-eligible before the doubled backoff elapsed")
+	}
+	clk.advance(10 * time.Second)
+	if !b.Routable("w") {
+		t.Fatal("not probe-eligible after doubled backoff")
+	}
+
+	// Successful probe: closed, streak and backoff reset.
+	b.Dispatching("w")
+	b.Success("w")
+	if b.State("w") != StateClosed || !b.Routable("w") {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	snap := b.Snapshot()
+	if len(snap) != 1 || snap[0].Backoff != 10*time.Second || snap[0].ConsecutiveFailures != 0 {
+		t.Fatalf("post-close snapshot = %+v, want reset backoff and streak", snap)
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakers(BreakerOptions{Failures: 1, Backoff: 10 * time.Second, MaxBackoff: 25 * time.Second, Now: clk.now})
+	b.Failure("w")
+	for i := 0; i < 5; i++ {
+		clk.advance(time.Hour)
+		b.Dispatching("w")
+		b.Failure("w")
+	}
+	snap := b.Snapshot()
+	if len(snap) != 1 || snap[0].Backoff != 25*time.Second {
+		t.Fatalf("backoff = %v, want capped at 25s", snap[0].Backoff)
+	}
+}
+
+func TestBreakerDispatchingIsNoOpWhenClosed(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakers(BreakerOptions{Now: clk.now})
+	b.Dispatching("w")
+	if b.State("w") != StateClosed {
+		t.Fatal("Dispatching on a closed key changed state")
+	}
+	// Straggler failures against an already-open breaker keep it open
+	// without re-counting as trips.
+	bb := NewBreakers(BreakerOptions{Failures: 1, Backoff: 10 * time.Second, Now: clk.now})
+	bb.Failure("w")
+	if bb.Failure("w") {
+		t.Fatal("straggler failure re-counted as a trip")
+	}
+	if bb.State("w") != StateOpen {
+		t.Fatal("straggler failure changed open state")
+	}
+}
+
+func TestBreakerForget(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakers(BreakerOptions{Failures: 1, Now: clk.now})
+	b.Failure("w")
+	b.Forget("w")
+	if b.State("w") != StateClosed || !b.Routable("w") {
+		t.Fatal("forgotten key not closed")
+	}
+	if len(b.Snapshot()) != 0 {
+		t.Fatal("forgotten key still in snapshot")
+	}
+}

@@ -62,6 +62,10 @@ type Metrics struct {
 	Recoveries *metrics.Counter
 	// Truncations counts corrupt or torn journal tails repaired on open.
 	Truncations *metrics.Counter
+	// Compactions counts done WALs rewritten to stubs by Compact.
+	Compactions *metrics.Counter
+	// Retired counts done WALs deleted by retention (age or size budget).
+	Retired *metrics.Counter
 }
 
 func newJournalMetrics() *Metrics {
@@ -80,6 +84,10 @@ func newJournalMetrics() *Metrics {
 			sub("recoveries_total", "Journal opens that found prior sweep progress.")),
 		Truncations: metrics.NewCounter(
 			sub("truncations_total", "Corrupt or torn journal tails truncated during replay.")),
+		Compactions: metrics.NewCounter(
+			sub("compactions_total", "Completed sweep WALs rewritten to stubs.")),
+		Retired: metrics.NewCounter(
+			sub("retired_total", "Completed sweep WALs deleted by retention policy.")),
 	}
 }
 
@@ -88,7 +96,7 @@ func (s *Store) Metrics() *Metrics { return s.metrics }
 
 // Collectors returns every collector of the set, for registration.
 func (m *Metrics) Collectors() []metrics.Collector {
-	return []metrics.Collector{m.Appends, m.AppendErrors, m.ReplayedCells, m.Recoveries, m.Truncations}
+	return []metrics.Collector{m.Appends, m.AppendErrors, m.ReplayedCells, m.Recoveries, m.Truncations, m.Compactions, m.Retired}
 }
 
 // Register registers the whole set into reg.
@@ -319,8 +327,13 @@ func (j *Sweep) AppendCell(cr sweep.CellResult) error {
 	return nil
 }
 
-// AppendDone seals the journal: the sweep ran to completion.
+// AppendDone seals the journal: the sweep ran to completion. Idempotent —
+// a journal already sealed (replayed done record, e.g. a compacted stub
+// whose sweep was re-executed) is not sealed twice.
 func (j *Sweep) AppendDone() error {
+	if j.done {
+		return nil
+	}
 	if err := j.append(record{Type: "done"}); err != nil {
 		return err
 	}
@@ -338,18 +351,28 @@ func (j *Sweep) append(rec record) error {
 	return nil
 }
 
-func (j *Sweep) appendLocked(rec record) error {
+// encodeRecord frames one record for the WAL (shared by appends and the
+// compactor's stub writer).
+func encodeRecord(rec record) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("journal: encoding record: %w", err)
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
 	}
 	if len(payload) > maxRecord {
-		return fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
 	}
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[8:], payload)
+	return frame, nil
+}
+
+func (j *Sweep) appendLocked(rec record) error {
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
 
 	j.mu.Lock()
 	defer j.mu.Unlock()

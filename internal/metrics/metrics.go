@@ -244,6 +244,41 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Quantile estimates the q-quantile of the recorded observations from the
+// bucket counts, with linear interpolation inside the bucket the rank
+// falls into. Observations past the largest finite bucket clamp to that
+// bound, and an empty histogram reports 0 — callers treat 0 as "no
+// signal" and fall back to their own default.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	count := h.count
+	h.mu.Unlock()
+	return bucketQuantile(q, h.buckets, counts, count)
+}
+
+func bucketQuantile(q float64, bounds []float64, counts []uint64, total uint64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(total)
+	var cum float64
+	for i, ub := range bounds {
+		prev := cum
+		cum += float64(counts[i])
+		if cum >= rank && counts[i] > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			return lower + (ub-lower)*(rank-prev)/float64(counts[i])
+		}
+	}
+	// The rank lands among observations above every finite bucket.
+	return bounds[len(bounds)-1]
+}
+
 // Family implements Collector.
 func (h *Histogram) Family() Family {
 	h.mu.Lock()
@@ -388,6 +423,30 @@ func NewHistogramVec(opts Opts, buckets []float64, labelNames []string) *Histogr
 // WithLabelValues returns (creating on first use) the child for the given
 // label values.
 func (hv *HistogramVec) WithLabelValues(values ...string) *Histogram { return hv.v.with(values...) }
+
+// Quantile estimates the q-quantile across every child merged — the
+// vector-wide distribution. Children share bucket bounds by construction.
+// An empty vector (or one with no observations) reports 0.
+func (hv *HistogramVec) Quantile(q float64) float64 {
+	var (
+		bounds []float64
+		counts []uint64
+		total  uint64
+	)
+	for _, h := range hv.v.snapshot() {
+		h.mu.Lock()
+		if counts == nil {
+			bounds = h.buckets
+			counts = make([]uint64, len(h.counts))
+		}
+		for i, c := range h.counts {
+			counts[i] += c
+		}
+		total += h.count
+		h.mu.Unlock()
+	}
+	return bucketQuantile(q, bounds, counts, total)
+}
 
 // Family implements Collector.
 func (hv *HistogramVec) Family() Family {

@@ -189,3 +189,43 @@ func TestLabelEscaping(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := metrics.NewHistogram(metrics.Opts{Namespace: "t", Name: "q_seconds", Help: "q"},
+		[]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// Four observations in (1, 2]: the median interpolates inside that
+	// bucket — rank 2 of 4 observations lands halfway through it.
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("median = %v, want 1.5", got)
+	}
+	// Observations past the largest finite bound clamp to it.
+	for i := 0; i < 40; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("p99 with overflow mass = %v, want clamp to 4", got)
+	}
+}
+
+func TestHistogramVecQuantileMergesChildren(t *testing.T) {
+	hv := metrics.NewHistogramVec(metrics.Opts{Namespace: "t", Name: "qv_seconds", Help: "q"},
+		[]float64{1, 2, 4}, []string{"kind"})
+	if got := hv.Quantile(0.5); got != 0 {
+		t.Errorf("empty vec quantile = %v, want 0", got)
+	}
+	// Two observations per child, all inside (1, 2]: the merged median
+	// sits mid-bucket regardless of which child each lands in.
+	hv.WithLabelValues("a").Observe(1.5)
+	hv.WithLabelValues("a").Observe(1.5)
+	hv.WithLabelValues("b").Observe(1.5)
+	hv.WithLabelValues("b").Observe(1.5)
+	if got := hv.Quantile(0.5); got != 1.5 {
+		t.Errorf("merged median = %v, want 1.5", got)
+	}
+}

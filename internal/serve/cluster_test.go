@@ -87,7 +87,8 @@ func TestShedWhenSaturated(t *testing.T) {
 	// block, so just check the admission decision directly).
 	noShed := Options{MaxQueue: -1}.withDefaults()
 	noShed.sm = newServeMetrics()
-	if shed(eng, noShed, "/v1/analyze", httptest.NewRecorder()) {
+	if shed(eng, noShed, "/v1/analyze", "stable", httptest.NewRecorder(),
+		httptest.NewRequest(http.MethodPost, "/v1/analyze", nil)) {
 		t.Error("MaxQueue -1 must never shed")
 	}
 }

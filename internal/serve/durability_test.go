@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/journal"
@@ -86,7 +87,11 @@ func sweepBody(t *testing.T, h http.Handler, spec string) []byte {
 // stand-in for SIGKILL — the client connection drops, cancelling the run
 // with the journal partially filled) and resubmitted against a fresh
 // engine over the same journal directory produces a canonical NDJSON
-// stream byte-identical to a never-interrupted run's.
+// stream byte-identical to a never-interrupted run's. Retention passes
+// race both phases: an aggressive Compact between crash and resume must
+// leave the in-progress WAL untouched, and a Compact after completion
+// stubs the WAL so a further resubmission re-executes the grid — still
+// byte-identically.
 func TestJournaledSweepCrashResumeByteIdentical(t *testing.T) {
 	baseline := canonicalNDJSON(t, sweepBody(t, NewHandler(engine.New(), Options{}), crashSpec))
 	if n := strings.Count(baseline, "\n"); n != 13 { // 12 cells + summary
@@ -116,6 +121,34 @@ func TestJournaledSweepCrashResumeByteIdentical(t *testing.T) {
 	resp.Body.Close()
 	srv.Close()
 
+	// The dropped connection races the final cells, so the WAL may or may
+	// not carry its done record. When the crash truly landed mid-flight,
+	// run maximum-aggression retention against it: no done record, so
+	// neither age nor size budget may touch it and replay must survive
+	// intact. (The done outcome is exercised by the stub-and-reexecute
+	// phase at the end of this test.)
+	spec, err := sweep.ParseSpec([]byte(crashSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := sweep.SpecHash(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := js.Sweep(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wasDone := probe.Done()
+	probe.Close()
+	if !wasDone {
+		if stats, err := js.Compact(journal.Retention{Retain: time.Nanosecond, MaxBytes: 1}); err != nil {
+			t.Fatal(err)
+		} else if stats.Compacted != 0 || stats.Removed != 0 {
+			t.Fatalf("compaction touched an in-progress WAL: %+v", stats)
+		}
+	}
+
 	js2, err := journal.Open(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -126,6 +159,28 @@ func TestJournaledSweepCrashResumeByteIdentical(t *testing.T) {
 	}
 	if resumed != baseline {
 		t.Fatalf("resumed canonical stream differs from baseline:\n--- baseline ---\n%s--- resumed ---\n%s", baseline, resumed)
+	}
+
+	// Now the sweep is done: compaction stubs its WAL, and resubmitting the
+	// compacted spec re-executes the whole grid to the same bytes.
+	stats, err := js2.Compact(journal.Retention{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compacted != 1 {
+		t.Fatalf("post-completion compaction stats = %+v, want 1 stub", stats)
+	}
+	js3, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New()
+	recomputed := canonicalNDJSON(t, sweepBody(t, NewHandler(eng, Options{Journal: js3}), crashSpec))
+	if recomputed != baseline {
+		t.Fatalf("post-compaction rerun differs from baseline:\n--- baseline ---\n%s--- rerun ---\n%s", baseline, recomputed)
+	}
+	if eng.Computations() == 0 {
+		t.Fatal("post-compaction rerun executed nothing; the stub should have forced recomputation")
 	}
 }
 

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/govern"
+)
+
+// clientKey identifies the client of a request for rate limiting and
+// Retry-After jitter: the X-API-Key header when present (so a fleet
+// behind one NAT can be told apart), else the remote IP.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds formats a delay as the integral Retry-After header
+// value: whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// shedRetryAfter derives the Retry-After of a 503 shed from observed
+// engine latency: the median of the request-latency histogram for the
+// request's kind (vector-wide when the kind has no observations yet),
+// clamped to [1s, 30s] — an honest "when might a slot be free" instead of
+// a hardcoded constant. The result is stretched by a deterministic
+// per-client jitter, the same construction as the cluster agent's
+// registration backoff, so a shed client fleet retries fanned out rather
+// than in lockstep.
+func shedRetryAfter(eng *engine.Engine, kind, client string) time.Duration {
+	lat := eng.Metrics().Latency
+	var median float64
+	if kind != "" {
+		median = lat.WithLabelValues(kind).Quantile(0.5)
+	}
+	if median == 0 {
+		median = lat.Quantile(0.5)
+	}
+	d := time.Duration(median * float64(time.Second))
+	if d < time.Second {
+		d = time.Second // no signal (or a very fast engine): the old default
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second // the dispatcher clamps there anyway; so do we
+	}
+	return govern.Jitter(client, 0, d, 0.25)
+}
+
+// rateLimited wraps a public endpoint with per-client admission rate
+// limiting: over-budget requests answer 429 with a Retry-After computed
+// from the client's actual token refill time (jittered by the limiter).
+// A nil limiter (rate limiting disabled) mounts the handler untouched.
+func rateLimited(lim *govern.Limiter, sm *Metrics, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if lim == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, retry := lim.Allow(clientKey(r))
+		if !ok {
+			sm.RateLimited.WithLabelValues(endpoint).Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "rate limit exceeded; retry after the advertised delay"})
+			return
+		}
+		h(w, r)
+	}
+}

@@ -25,6 +25,10 @@ type Metrics struct {
 	// StreamRows counts NDJSON rows streamed by /v1/sweep, by row type
 	// (cell, summary, error).
 	StreamRows *metrics.CounterVec
+	// RateLimited counts requests answered 429 + Retry-After by the
+	// per-client rate limiter, by endpoint. They also land in Requests
+	// with status 429.
+	RateLimited *metrics.CounterVec
 }
 
 func newServeMetrics() *Metrics {
@@ -43,12 +47,15 @@ func newServeMetrics() *Metrics {
 		StreamRows: metrics.NewCounterVec(
 			sub("stream_rows_total", "NDJSON rows streamed by /v1/sweep, by row type."),
 			[]string{"type"}),
+		RateLimited: metrics.NewCounterVec(
+			sub("rate_limited_total", "Requests answered 429 + Retry-After by the per-client rate limiter, by endpoint."),
+			[]string{"endpoint"}),
 	}
 }
 
 // Collectors returns every collector of the set, for registration.
 func (m *Metrics) Collectors() []metrics.Collector {
-	return []metrics.Collector{m.Requests, m.SweepsInflight, m.Shed, m.StreamRows}
+	return []metrics.Collector{m.Requests, m.SweepsInflight, m.Shed, m.StreamRows, m.RateLimited}
 }
 
 // Register registers the whole set into reg.

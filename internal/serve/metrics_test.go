@@ -75,7 +75,13 @@ func TestMetricsSweepInflightAndRows(t *testing.T) {
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
-	spec := `{"name":"rows","kinds":["bounds"],"params":[{"from":3,"to":22}]}`
+	// The cells must cost real compute: with instant cells (e.g. bounds)
+	// the whole stream fits the socket buffer and the handler can return
+	// before the client reads row 1, so the mid-stream gauge read races.
+	// Seeded simulate cells mean later rows don't exist yet when the first
+	// one arrives — the handler is necessarily still in flight.
+	spec := `{"name":"rows","protocols":[{"spec":"flock:{N}"}],"params":[{"from":3,"to":22}],` +
+		`"kinds":["simulate"],"sizes":[128],"options":{"seed":5,"runs":1000}}`
 	resp, err := srv.Client().Post(srv.URL+"/v1/sweep", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/govern"
 	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/protocols"
@@ -80,6 +81,18 @@ type Options struct {
 	// Retry-After instead of queueing without bound. 0 means twice the slot
 	// capacity; -1 disables shedding.
 	MaxQueue int
+	// RateLimit enables per-client admission rate limiting on the public
+	// endpoints (/v1/analyze, /v1/sweep, /v1/catalog): each client — keyed
+	// by X-API-Key, else remote IP — gets a token bucket refilling
+	// RateLimit requests/second. Over-budget requests answer 429 with a
+	// Retry-After computed from the bucket's actual refill time,
+	// deterministically jittered per client. Cluster-internal endpoints
+	// (/v1/cluster/*, /v1/artifacts) and probes (/healthz, /metrics) are
+	// exempt — a worker must never rate-limit its coordinator. 0 disables.
+	RateLimit float64
+	// RateBurst is the limiter's bucket size — how many back-to-back
+	// requests a quiet client may issue (0 = max(1, 2×RateLimit)).
+	RateBurst int
 	// Metrics, when set, mounts GET /metrics serving this registry in the
 	// Prometheus text exposition format, with the engine's, this handler's
 	// and (under Cluster) the coordinator's collectors registered into it.
@@ -114,9 +127,11 @@ func (o Options) withDefaults() Options {
 // shed applies fail-fast admission control: when every engine execution
 // slot is busy and the waiting queue is at its bound, the request is
 // answered 503 + Retry-After immediately instead of queueing without
-// bound. The cluster dispatcher understands the 503 as backpressure and
-// retries the range on the same worker after the delay.
-func shed(eng *engine.Engine, opts Options, endpoint string, w http.ResponseWriter) bool {
+// bound. The Retry-After is the median observed latency of the request's
+// kind (see shedRetryAfter), so the hint tracks how long a slot actually
+// takes to free up. The cluster dispatcher understands the 503 as
+// backpressure and retries the range on the same worker after the delay.
+func shed(eng *engine.Engine, opts Options, endpoint, kind string, w http.ResponseWriter, r *http.Request) bool {
 	if opts.MaxQueue < 0 {
 		return false
 	}
@@ -129,7 +144,7 @@ func shed(eng *engine.Engine, opts Options, endpoint string, w http.ResponseWrit
 		return false
 	}
 	opts.sm.Shed.WithLabelValues(endpoint).Inc()
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", retryAfterSeconds(shedRetryAfter(eng, kind, clientKey(r))))
 	writeJSON(w, http.StatusServiceUnavailable, errorBody{
 		Error: fmt.Sprintf("saturated: %d/%d slots busy, %d queued", busy, capacity, queued),
 	})
@@ -185,16 +200,20 @@ func newHandler(eng *engine.Engine, opts Options) (http.Handler, *Metrics) {
 	}
 	sm := newServeMetrics()
 	opts.sm = sm
+	var lim *govern.Limiter
+	if opts.RateLimit > 0 {
+		lim = govern.NewLimiter(govern.LimiterOptions{Rate: opts.RateLimit, Burst: float64(opts.RateBurst)})
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", sm.instrumented("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/analyze", sm.instrumented("/v1/analyze", rateLimited(lim, sm, "/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		handleAnalyze(eng, opts, w, r)
-	}))
-	mux.HandleFunc("POST /v1/sweep", sm.instrumented("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("POST /v1/sweep", sm.instrumented("/v1/sweep", rateLimited(lim, sm, "/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		handleSweep(eng, opts, w, r)
-	}))
-	mux.HandleFunc("GET /v1/catalog", sm.instrumented("/v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("GET /v1/catalog", sm.instrumented("/v1/catalog", rateLimited(lim, sm, "/v1/catalog", func(w http.ResponseWriter, r *http.Request) {
 		handleCatalog(eng, w)
-	}))
+	})))
 	mux.HandleFunc("GET /healthz", sm.instrumented("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
@@ -228,7 +247,7 @@ func handleAnalyze(eng *engine.Engine, opts Options, w http.ResponseWriter, r *h
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
 		return
 	}
-	if shed(eng, opts, "/v1/analyze", w) {
+	if shed(eng, opts, "/v1/analyze", string(req.Kind), w, r) {
 		opts.RequestLog.Warn("request shed", "path", "/v1/analyze", "kind", req.Kind)
 		return
 	}
@@ -308,7 +327,7 @@ func handleSweep(eng *engine.Engine, opts Options, w http.ResponseWriter, r *htt
 	mode := "local"
 	if opts.Cluster != nil {
 		mode = "cluster"
-	} else if shed(eng, opts, "/v1/sweep", w) {
+	} else if shed(eng, opts, "/v1/sweep", "", w, r) {
 		// Coordinators never shed sweeps: fan-out is network-bound, and the
 		// workers' own 503s already backpressure the dispatcher.
 		opts.RequestLog.Warn("request shed", "path", "/v1/sweep", "sweep", spec.Name)

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/faultinject"
 	"repro/internal/metrics"
@@ -48,6 +49,8 @@ var ErrCorrupt = errors.New("store: corrupt entry")
 type Store struct {
 	dir     string
 	metrics *Metrics
+	// gc is the size-governance state, nil until EnableGC (see gc.go).
+	gc atomic.Pointer[gcState]
 }
 
 // Metrics is the store's instrumentation (pp_store_* families).
@@ -61,9 +64,18 @@ type Metrics struct {
 	// store itself never fetches; the engine's peer-fetch path records
 	// here so the whole artifact-durability story is one subsystem.
 	PeerFetches *metrics.CounterVec
+	// GCEvictions counts entries the size-governance GC deleted.
+	GCEvictions *metrics.Counter
+	// GCErrors counts eviction deletes that failed (retried next pass).
+	GCErrors *metrics.Counter
+	// GCRuns counts eviction passes, fired or not.
+	GCRuns *metrics.Counter
+	// GCBytes reports the governed on-disk size at gather time (0 while
+	// governance is disabled).
+	GCBytes *metrics.GaugeFunc
 }
 
-func newStoreMetrics() *Metrics {
+func newStoreMetrics(s *Store) *Metrics {
 	sub := func(name, help string) metrics.Opts {
 		return metrics.Opts{Namespace: "pp", Subsystem: "store", Name: name, Help: help}
 	}
@@ -77,6 +89,15 @@ func newStoreMetrics() *Metrics {
 		PeerFetches: metrics.NewCounterVec(
 			sub("peer_fetches_total", "Artifacts fetched from cluster peers, by result (hit, miss, error)."),
 			[]string{"result"}),
+		GCEvictions: metrics.NewCounter(
+			sub("gc_evictions_total", "Artifact-store entries evicted by the size-governance GC.")),
+		GCErrors: metrics.NewCounter(
+			sub("gc_errors_total", "Artifact-store GC eviction deletes that failed.")),
+		GCRuns: metrics.NewCounter(
+			sub("gc_runs_total", "Artifact-store GC eviction passes.")),
+		GCBytes: metrics.NewGaugeFunc(
+			sub("gc_bytes", "Governed artifact-store size in bytes (0 while GC is disabled)."),
+			func() float64 { return float64(s.GCBytes()) }),
 	}
 }
 
@@ -85,7 +106,7 @@ func (s *Store) Metrics() *Metrics { return s.metrics }
 
 // Collectors returns every collector of the set, for registration.
 func (m *Metrics) Collectors() []metrics.Collector {
-	return []metrics.Collector{m.Reads, m.Writes, m.PeerFetches}
+	return []metrics.Collector{m.Reads, m.Writes, m.PeerFetches, m.GCEvictions, m.GCErrors, m.GCRuns, m.GCBytes}
 }
 
 // Register registers the whole set into reg.
@@ -96,7 +117,9 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir, metrics: newStoreMetrics()}, nil
+	s := &Store{dir: dir}
+	s.metrics = newStoreMetrics(s)
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -148,6 +171,7 @@ func (s *Store) Get(kind, hash string) ([]byte, error) {
 	if err != nil {
 		if errors.Is(err, faultinject.ErrInjected) {
 			os.Remove(p)
+			s.gcForget(kind, hash)
 			s.metrics.Reads.WithLabelValues("corrupt").Inc()
 			return nil, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, kind, hash, err)
 		}
@@ -159,11 +183,27 @@ func (s *Store) Get(kind, hash string) ([]byte, error) {
 		// Never trust a bad entry: delete it so the recompute's Put
 		// replaces it, and the corruption can't resurface.
 		os.Remove(p)
+		s.gcForget(kind, hash)
 		s.metrics.Reads.WithLabelValues("corrupt").Inc()
 		return nil, fmt.Errorf("%w: %s/%s: %v", ErrCorrupt, kind, hash, err)
 	}
+	s.gcTouch(kind, hash, int64(len(raw)))
 	s.metrics.Reads.WithLabelValues("hit").Inc()
 	return payload, nil
+}
+
+// gcTouch marks an entry as recently used in the GC index, if enabled.
+func (s *Store) gcTouch(kind, hash string, size int64) {
+	if g := s.gc.Load(); g != nil {
+		g.record(kind, hash, size)
+	}
+}
+
+// gcForget drops an entry from the GC index, if enabled.
+func (s *Store) gcForget(kind, hash string) {
+	if g := s.gc.Load(); g != nil {
+		g.forget(kind, hash)
+	}
 }
 
 // Put stores payload under (kind, hash) atomically: temp file, fsync,
@@ -174,6 +214,7 @@ func (s *Store) Put(kind, hash string, payload []byte) error {
 		s.metrics.Writes.WithLabelValues("error").Inc()
 		return err
 	}
+	s.gcTouch(kind, hash, int64(12+len(payload)))
 	s.metrics.Writes.WithLabelValues("ok").Inc()
 	return nil
 }
@@ -227,6 +268,7 @@ func (s *Store) Delete(kind, hash string) error {
 	if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("store: delete %s/%s: %w", kind, hash, err)
 	}
+	s.gcForget(kind, hash)
 	return nil
 }
 

@@ -122,6 +122,23 @@ for w in w1 w2; do
     exit 1
   fi
 done
+# The circuit-breaker families are scraped (no samples on a healthy run —
+# breakers only materialize per worker once dispatch feedback arrives —
+# but the families must be in the exposition for dashboards to find).
+for fam in pp_cluster_breaker_state pp_cluster_breaker_trips_total; do
+  if ! grep -q "^# TYPE $fam " <<< "$metrics"; then
+    echo "FAIL: /metrics misses the $fam family" >&2
+    grep '^# TYPE pp_cluster' <<< "$metrics" >&2 || true
+    exit 1
+  fi
+done
+# And a healthy run trips nothing (zero samples sum to zero).
+trips="$(awk '/^pp_cluster_breaker_trips_total{/ {s += $2} END {print s + 0}' <<< "$metrics")"
+if [ "${trips%.*}" -ne 0 ]; then
+  echo "FAIL: $trips breaker trips on a healthy cluster run" >&2
+  grep '^pp_cluster_breaker' <<< "$metrics" >&2 || true
+  exit 1
+fi
 
 rows="$(wc -l < "$workdir/local.ndjson")"
 echo "cluster smoke OK: $rows canonical rows byte-identical across 1 coordinator + 2 workers ($served cells served remotely, /metrics agrees)"

@@ -152,3 +152,31 @@ fi
 
 total_rows="$(wc -l < "$workdir/baseline.ndjson")"
 echo "crash smoke OK: kill -9 after $rows cells, resume replayed ${replayed%.*} and produced $total_rows byte-identical canonical rows (journal recoveries=${recoveries%.*}, store hits=${store_hits%.*})"
+
+# Disk-pressure phase: the same journaled sweep under an artifact budget
+# well below the working set (the flock 3..10 stable artifacts alone are
+# ~6.5KB). The GC must evict under pressure while the sweep completes to
+# the same canonical bytes — governance degrades cache hits, never
+# correctness.
+"$workdir/ppserve" -coordinator -addr 127.0.0.1:0 \
+  -journal-dir "$workdir/journal-gc" -artifact-dir "$workdir/artifacts-gc" \
+  -artifact-max-bytes 2048 \
+  > "$workdir/gc.log" 2>&1 &
+pids+=($!)
+gcurl="http://$(wait_listen "$workdir/gc.log")"
+"$workdir/ppsweep" -spec "$spec" -cluster "$gcurl" -canonical -quiet > "$workdir/pressured.ndjson"
+
+if ! diff -u "$workdir/baseline.ndjson" "$workdir/pressured.ndjson"; then
+  echo "FAIL: canonical NDJSON diverges under artifact-store GC pressure" >&2
+  exit 1
+fi
+gcmetrics="$(curl -sf "$gcurl/metrics")"
+evictions="$(awk '/^pp_store_gc_evictions_total/ {print $2}' <<< "$gcmetrics")"
+evictions="${evictions:-0}"
+if [ "${evictions%.*}" -lt 1 ]; then
+  echo "FAIL: artifact budget below working set but pp_store_gc_evictions_total=${evictions}" >&2
+  grep '^pp_store' <<< "$gcmetrics" >&2 || true
+  exit 1
+fi
+gc_bytes="$(awk '/^pp_store_gc_bytes/ {print $2}' <<< "$gcmetrics")"
+echo "disk-pressure smoke OK: sweep byte-identical under a 2048-byte artifact budget (evictions=${evictions%.*}, tracked bytes=${gc_bytes:-?})"
