@@ -17,12 +17,23 @@ import (
 	"repro/internal/sweep"
 )
 
-// integrationSpec is a 20-cell grid over four distinct protocols, so the
+// integrationSpec is a 60-cell grid over three family templates, so the
 // rendezvous router has real affinity groups to spread across workers.
 func integrationSpec() sweep.Spec {
+	// Three family templates: with family-affinity routing every member of
+	// one template shares a routing group, so spreading across workers (and
+	// exercising retry/breaker paths on more than one worker) needs several
+	// distinct families, not several parameters of one. These three were
+	// picked so rendezvous routing gives every worker at least one group
+	// under both membership sets the integration tests use ({w1,w2} and
+	// {bad,good}).
 	return sweep.Spec{
-		Name:      "cluster-test",
-		Protocols: []sweep.ProtocolAxis{{Spec: "flock:{N}"}},
+		Name: "cluster-test",
+		Protocols: []sweep.ProtocolAxis{
+			{Spec: "flock:{N}"},
+			{Spec: "binary:{N}"},
+			{Spec: "mod:{N}:0"},
+		},
 		Params:    []sweep.ParamRange{{From: 3, To: 6}},
 		Kinds:     []engine.Kind{engine.KindSimulate, engine.KindVerify, engine.KindStable},
 		Sizes:     []sweep.Expr{sweep.Lit(6), sweep.Lit(7)},

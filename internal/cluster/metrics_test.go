@@ -119,7 +119,7 @@ func TestMetricsHealthySweepDistribution(t *testing.T) {
 // orphaned to survivors, and the death registers as a deregistration — all
 // with the sweep still completing locally.
 func TestMetricsKilledWorkerOrphansThenRetries(t *testing.T) {
-	spec := integrationSpec() // 20 cells over 4 protocols
+	spec := integrationSpec() // 60 cells over 3 family groups
 	coord := cluster.NewCoordinator(cluster.CoordinatorOptions{})
 	m := coord.Metrics()
 
@@ -134,9 +134,9 @@ func TestMetricsKilledWorkerOrphansThenRetries(t *testing.T) {
 	}
 	startWorker(t, coord, "w1", killer)
 
-	// 4 protocol groups of 5 cells → 4 ranges, all routed to the only
+	// 3 family groups of 20 cells → 12 ranges, all routed to the only
 	// worker. It dies 2 rows into the first; the dispatcher must retry
-	// that range and orphan the queued 3.
+	// that range and orphan the queued 11.
 	res, err := coord.Sweep(context.Background(), spec, cluster.DispatchOptions{
 		LocalEngine: engine.New(),
 		RangeCells:  5,
@@ -151,8 +151,8 @@ func TestMetricsKilledWorkerOrphansThenRetries(t *testing.T) {
 	if got := testutil.ToFloat64(m.RangesRetried.WithLabelValues("w1")); got != 1 {
 		t.Errorf("ranges_retried{w1} = %v, want 1", got)
 	}
-	if got := testutil.ToFloat64(m.RangesOrphaned.WithLabelValues("w1")); got != 3 {
-		t.Errorf("ranges_orphaned{w1} = %v, want 3", got)
+	if got := testutil.ToFloat64(m.RangesOrphaned.WithLabelValues("w1")); got != 11 {
+		t.Errorf("ranges_orphaned{w1} = %v, want 11", got)
 	}
 	if got := testutil.ToFloat64(m.Deregistrations); got != 1 {
 		t.Errorf("deregistrations = %v, want 1", got)
@@ -162,12 +162,12 @@ func TestMetricsKilledWorkerOrphansThenRetries(t *testing.T) {
 	if got := testutil.ToFloat64(m.CellsServed.WithLabelValues("w1")); got != 2 {
 		t.Errorf("cells_served{w1} = %v, want 2", got)
 	}
-	if got := testutil.ToFloat64(m.RangesDispatched.WithLabelValues(cluster.LocalWorkerLabel)); got != 4 {
-		t.Errorf("ranges_dispatched{local} = %v, want 4 (3 orphans + 1 retry)", got)
+	if got := testutil.ToFloat64(m.RangesDispatched.WithLabelValues(cluster.LocalWorkerLabel)); got != 12 {
+		t.Errorf("ranges_dispatched{local} = %v, want 12 (11 orphans + 1 retry)", got)
 	}
 	routedLocal := testutil.ToFloat64(m.CellsRouted.WithLabelValues(cluster.LocalWorkerLabel))
-	if routedLocal != 18 { // 3 orphaned ranges × 5 cells + 3 retried cells
-		t.Errorf("cells_routed{local} = %v, want 18", routedLocal)
+	if routedLocal != 58 { // 11 orphaned ranges × 5 cells + 3 retried cells
+		t.Errorf("cells_routed{local} = %v, want 58", routedLocal)
 	}
 }
 

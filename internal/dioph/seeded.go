@@ -1,0 +1,194 @@
+package dioph
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+)
+
+// This file is the Diophantine layer of the incremental family-parametric
+// analysis: the Contejean–Devie search accepts *seed* solutions carried
+// over from a previously solved family neighbor. Seeds do not change what
+// is computed — the seeded solvers return exactly the Hilbert basis (resp.
+// generating basis) of the given system, element for element — they change
+// how fast the search contracts: the domination prune fires against the
+// seeds from the very first frontier, so whole subtrees the cold search
+// must walk until it rediscovers those solutions are cut immediately.
+//
+// Soundness of pruning by a seed s is the standard Contejean–Devie
+// argument, which never uses minimality of the pruning solution: a node y
+// on a path to a minimal solution m satisfies y ≤ m, so a prune y ≥ s with
+// s a genuine non-zero solution forces s ≤ m and hence s = m by minimality
+// — and then y = m = s is already recorded. Invalid seeds (not solutions
+// of THIS system) are rejected up front, so a stale neighbor can slow
+// nothing down and can never corrupt the basis; non-minimal valid seeds
+// are dropped by the final minimisation exactly like the non-minimal
+// accepts of the cold search.
+
+// SeedStats reports what a seeded solve did with its seeds.
+type SeedStats struct {
+	// Offered is the number of seed vectors passed in.
+	Offered int
+	// Accepted is how many were genuine solutions of the system and entered
+	// the prune set.
+	Accepted int
+	// Rejected is how many were not solutions (stale family carryover) and
+	// were discarded before the search started.
+	Rejected int
+	// Examined is the number of frontier nodes the search walked — the
+	// direct measure of how much work seeding saved (compare against the
+	// cold solve's count).
+	Examined int
+}
+
+// HilbertBasisEqSeeded returns exactly HilbertBasisEq(a, v, opts) — the
+// same minimal solutions, canonically minimised — warm-starting the
+// Contejean–Devie prune set with every seed that is a non-zero solution of
+// A·y = 0. Seed slices are not retained or modified.
+func HilbertBasisEqSeeded(a [][]int64, v int, opts Options, seeds []multiset.Vec) ([]multiset.Vec, *SeedStats, error) {
+	if err := validate(a, v); err != nil {
+		return nil, nil, err
+	}
+	stats := &SeedStats{Offered: len(seeds)}
+	var minimal []multiset.Vec
+	for _, s := range seeds {
+		if len(s) == v && !s.IsZero() && IsSolutionEq(a, s) {
+			minimal = append(minimal, s.Clone())
+			stats.Accepted++
+		} else {
+			stats.Rejected++
+		}
+	}
+	basis, examined, err := hilbertSearch(a, v, opts, minimal)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Examined = examined
+	return basis, stats, nil
+}
+
+// GeneratorsIneqSeeded returns exactly GeneratorsIneq(a, v, opts), seeding
+// the underlying slack-system search with every seed y that satisfies
+// A·y ≥ 0 (each is lifted to its unique slack extension (y, A·y)). The
+// generating set is identical to the cold solve's: the slack extension is a
+// bijection between solutions of the two systems, so identical extended
+// Hilbert bases project to identical generator sets.
+func GeneratorsIneqSeeded(a [][]int64, v int, opts Options, seeds []multiset.Vec) ([]multiset.Vec, *SeedStats, error) {
+	if err := validate(a, v); err != nil {
+		return nil, nil, err
+	}
+	e := len(a)
+	ext := make([][]int64, e)
+	for i := range a {
+		row := make([]int64, v+e)
+		copy(row, a[i])
+		row[v+i] = -1
+		ext[i] = row
+	}
+	stats := &SeedStats{Offered: len(seeds)}
+	var minimal []multiset.Vec
+	for _, s := range seeds {
+		if len(s) != v || s.IsZero() || !IsSolutionIneq(a, s) {
+			stats.Rejected++
+			continue
+		}
+		lift := make(multiset.Vec, v+e)
+		copy(lift, s)
+		for i, row := range a {
+			var sum int64
+			for j, c := range row {
+				sum += c * s[j]
+			}
+			lift[v+i] = sum
+		}
+		minimal = append(minimal, lift)
+		stats.Accepted++
+	}
+	basis, examined, err := hilbertSearch(ext, v+e, opts, minimal)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Examined = examined
+	var out []multiset.Vec
+	seen := newVecSet(v)
+	for _, b := range basis {
+		y := b[:v].Clone()
+		if y.IsZero() {
+			continue
+		}
+		if seen.insert(y) {
+			out = append(out, y)
+		}
+	}
+	return out, stats, nil
+}
+
+// hilbertSearch is the Contejean–Devie core shared by the cold and seeded
+// entry points: breadth-first from the unit vectors, expanding y by e_j
+// only when ⟨A·y, A·e_j⟩ < 0, pruning against the accumulating minimal
+// list — which starts empty for a cold solve and pre-populated with
+// validated seed solutions for a warm one. Returns the minimised basis and
+// the number of nodes examined.
+func hilbertSearch(a [][]int64, v int, opts Options, minimal []multiset.Vec) ([]multiset.Vec, int, error) {
+	budget := opts.MaxCandidates
+	if budget <= 0 {
+		budget = 2_000_000
+	}
+	e := len(a)
+	cols := make([]multiset.Vec, v)
+	for j := 0; j < v; j++ {
+		col := make(multiset.Vec, e)
+		for i := 0; i < e; i++ {
+			col[i] = a[i][j]
+		}
+		cols[j] = col
+	}
+	type node struct {
+		y  multiset.Vec
+		ay multiset.Vec
+	}
+	frontier := make([]node, 0, v)
+	seen := newVecSet(v)
+	for j := 0; j < v; j++ {
+		y := multiset.Unit(v, j)
+		frontier = append(frontier, node{y: y, ay: cols[j].Clone()})
+		seen.insert(y)
+	}
+	examined := 0
+	for len(frontier) > 0 {
+		var next []node
+		for _, nd := range frontier {
+			examined++
+			if examined > budget {
+				return nil, examined, fmt.Errorf("%w: %d candidates", ErrSearchTooLarge, examined)
+			}
+			if examined&4095 == 0 && opts.Interrupt != nil {
+				select {
+				case <-opts.Interrupt:
+					return nil, examined, ErrInterrupted
+				default:
+				}
+			}
+			if multiset.DominatesAny(nd.y, minimal) {
+				continue
+			}
+			if nd.ay.IsZero() {
+				minimal = append(minimal, nd.y)
+				continue
+			}
+			for j := 0; j < v; j++ {
+				if dot(nd.ay, cols[j]) >= 0 {
+					continue
+				}
+				y2 := nd.y.Clone()
+				y2[j]++
+				if !seen.insert(y2) {
+					continue
+				}
+				next = append(next, node{y: y2, ay: nd.ay.Add(cols[j])})
+			}
+		}
+		frontier = next
+	}
+	return multiset.Minimal(minimal), examined, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/ideal"
 	"repro/internal/multiset"
 	"repro/internal/protocol"
 	"repro/internal/realise"
@@ -18,10 +19,13 @@ import (
 const (
 	ArtifactStable = "stable"
 	ArtifactBasis  = "basis"
+	// ArtifactFamily files family member indexes (family.go), keyed by the
+	// hash of the family template string rather than a protocol hash.
+	ArtifactFamily = "family"
 )
 
 // ArtifactKinds lists every artifact family the engine persists.
-var ArtifactKinds = []string{ArtifactStable, ArtifactBasis}
+var ArtifactKinds = []string{ArtifactStable, ArtifactBasis, ArtifactFamily}
 
 // PeerFetchFunc fetches an artifact payload from a cluster peer: the raw
 // versioned encoding (already CRC-validated by the transport), or
@@ -59,16 +63,26 @@ func (e *Engine) durability() (*store.Store, PeerFetchFunc) {
 	return e.artstore, e.peerFetch
 }
 
-// stableArtifactV1 is version 1 of the durable stable-analysis encoding:
-// the minimal bases of U_0 and U_1 in arena insertion order, plus the
-// fixpoint's reporting counters. Everything else an Analysis exposes is
-// recomputed deterministically from this by stable.Restore.
+// stableArtifact is the durable stable-analysis encoding. Version 1
+// carries the minimal bases of U_0 and U_1 in arena insertion order plus
+// the fixpoint's reporting counters, and everything else is recomputed
+// deterministically by stable.Restore. Version 2 adds the derived ideal
+// decompositions (SC_0, SC_1 and their union, ω coordinates as -1 — the
+// in-memory sentinel), which stable.RestoreDerived restores verbatim
+// instead of recomputing: complementation dominates Restore on threshold
+// families, and skipping it is what makes a durable-store hit an order of
+// magnitude cheaper than the fixpoint. V1 payloads (fields absent) still
+// decode through the recomputing path.
 type stableArtifactV1 struct {
 	V          int       `json:"v"`
 	Basis0     [][]int64 `json:"basis0"`
 	Basis1     [][]int64 `json:"basis1"`
 	Iterations [2]int    `json:"iterations"`
 	Frontier   [2]int    `json:"frontier"`
+	// V2 fields: the derived decompositions, each ideal as its caps vector.
+	SC0   [][]int64 `json:"sc0,omitempty"`
+	SC1   [][]int64 `json:"sc1,omitempty"`
+	SCAll [][]int64 `json:"scAll,omitempty"`
 }
 
 // basisArtifactV1 is version 1 of the durable realisable-basis encoding.
@@ -79,8 +93,28 @@ type basisArtifactV1 struct {
 	Basis [][][2]int64 `json:"basis"`
 }
 
+func packIdeals(ideals []ideal.Ideal) [][]int64 {
+	out := make([][]int64, len(ideals))
+	for i, id := range ideals {
+		caps := make([]int64, id.Dim())
+		for j := range caps {
+			caps[j] = id.Cap(j)
+		}
+		out[i] = caps
+	}
+	return out
+}
+
+func unpackIdeals(rows [][]int64) []ideal.Ideal {
+	out := make([]ideal.Ideal, len(rows))
+	for i, caps := range rows {
+		out[i] = ideal.NewIdeal(caps)
+	}
+	return out
+}
+
 func encodeStableArtifact(a *stable.Analysis) ([]byte, error) {
-	art := stableArtifactV1{V: 1}
+	art := stableArtifactV1{V: 2}
 	pack := func(basis []multiset.Vec) [][]int64 {
 		out := make([][]int64, len(basis))
 		for i, m := range basis {
@@ -92,6 +126,10 @@ func encodeStableArtifact(a *stable.Analysis) ([]byte, error) {
 	art.Basis1 = pack(a.Unstable(1).MinBasis())
 	art.Iterations = [2]int{a.Iterations(0), a.Iterations(1)}
 	art.Frontier = [2]int{a.FrontierProcessed(0), a.FrontierProcessed(1)}
+	der := a.Derived()
+	art.SC0 = packIdeals(der.SC[0])
+	art.SC1 = packIdeals(der.SC[1])
+	art.SCAll = packIdeals(der.SCAll)
 	return json.Marshal(art)
 }
 
@@ -100,9 +138,6 @@ func decodeStableArtifact(p *protocol.Protocol, payload []byte) (*stable.Analysi
 	if err := json.Unmarshal(payload, &art); err != nil {
 		return nil, fmt.Errorf("stable artifact: %w", err)
 	}
-	if art.V != 1 {
-		return nil, fmt.Errorf("stable artifact: unsupported version %d", art.V)
-	}
 	unpack := func(rows [][]int64) []multiset.Vec {
 		out := make([]multiset.Vec, len(rows))
 		for i, r := range rows {
@@ -110,9 +145,18 @@ func decodeStableArtifact(p *protocol.Protocol, payload []byte) (*stable.Analysi
 		}
 		return out
 	}
-	return stable.Restore(p,
-		[2][]multiset.Vec{unpack(art.Basis0), unpack(art.Basis1)},
-		art.Iterations, art.Frontier)
+	basis := [2][]multiset.Vec{unpack(art.Basis0), unpack(art.Basis1)}
+	switch art.V {
+	case 1:
+		return stable.Restore(p, basis, art.Iterations, art.Frontier)
+	case 2:
+		return stable.RestoreDerived(p, basis, art.Iterations, art.Frontier, stable.Derived{
+			SC:    [2][]ideal.Ideal{unpackIdeals(art.SC0), unpackIdeals(art.SC1)},
+			SCAll: unpackIdeals(art.SCAll),
+		})
+	default:
+		return nil, fmt.Errorf("stable artifact: unsupported version %d", art.V)
+	}
 }
 
 func encodeBasisArtifact(basis []realise.TransitionMultiset) ([]byte, error) {

@@ -272,6 +272,12 @@ func TestStoreGCRacingPeerFetch(t *testing.T) {
 			}
 		}
 	}
+	// The final round recomputed and wrote through every artifact, so the
+	// store ends over budget whether or not the background ticker got a
+	// pass in during the rounds (fast artifact decodes can finish the whole
+	// drill inside one interval): one synchronous pass makes the eviction
+	// assertion deterministic.
+	ws.RunGC()
 	if v := testutil.ToFloat64(ws.Metrics().GCEvictions); v == 0 {
 		t.Fatal("budget below working set but the GC evicted nothing")
 	}

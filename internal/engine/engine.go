@@ -81,6 +81,12 @@ type Engine struct {
 	artstore  *store.Store
 	peerFetch PeerFetchFunc
 
+	// families indexes registered family members (template → param → hash)
+	// for the incremental warm paths; incrementalOff disables those paths
+	// (SetIncremental). See family.go.
+	families       map[string]*familyState
+	incrementalOff bool
+
 	// metrics instruments the request path and artifact cache; see
 	// metrics.go. Always non-nil.
 	metrics *Metrics
@@ -312,6 +318,9 @@ func (e *Engine) do(ctx context.Context, req Request) (*Result, error) {
 		entry protocols.Entry
 		hash  string
 	)
+	if err := validateFamily(req); err != nil {
+		return nil, err
+	}
 	if !req.Protocol.IsZero() || req.Kind != KindBounds {
 		var err error
 		entry, err = e.Resolve(req.Protocol)
@@ -321,6 +330,9 @@ func (e *Engine) do(ctx context.Context, req Request) (*Result, error) {
 		hash, err = Hash(entry.Protocol)
 		if err != nil {
 			return nil, err
+		}
+		if req.Family != "" {
+			e.registerFamilyMember(req.Family, req.FamilyParam, hash)
 		}
 		info := &ProtocolInfo{
 			Name:        entry.Protocol.Name(),
@@ -384,13 +396,13 @@ func (e *Engine) dispatch(ctx context.Context, req Request, entry protocols.Entr
 	case KindVerify:
 		return e.doVerify(ctx, req, entry, res)
 	case KindStable:
-		return e.doStable(ctx, entry, hash, res)
+		return e.doStable(ctx, req, entry, hash, res)
 	case KindCertifyChain, KindCertifyLeaderless:
 		return e.doCertify(ctx, req, entry, hash, res)
 	case KindSaturate:
 		return e.doSaturate(ctx, entry, res)
 	case KindBasis:
-		return e.doBasis(ctx, entry, hash, res)
+		return e.doBasis(ctx, req, entry, hash, res)
 	case KindBounds:
 		return e.doBounds(ctx, req, entry, res)
 	case KindCover:
@@ -466,8 +478,10 @@ func (e *Engine) evictIfCurrent(hash string, a *artifacts) {
 // arrived (waiters on an in-flight computation count as misses — they pay
 // the full latency). A computation interrupted by the computing request's
 // deadline is evicted so it never poisons the cache; waiters whose own
-// context is still live retry on a fresh slot.
-func (e *Engine) stableFor(ctx context.Context, p *protocol.Protocol, hash string) (*stable.Analysis, bool, error) {
+// context is still live retry on a fresh slot. fam, when non-nil, lets a
+// cache-and-disk miss warm-start from a family neighbor (family.go); the
+// computed artifact is identical either way.
+func (e *Engine) stableFor(ctx context.Context, p *protocol.Protocol, hash string, fam *famCtx) (*stable.Analysis, bool, error) {
 	counted := false
 	count := func(hit bool) {
 		if !counted {
@@ -495,10 +509,7 @@ func (e *Engine) stableFor(ctx context.Context, p *protocol.Protocol, hash strin
 				m.val = art
 			} else {
 				e.countCompute()
-				m.val, m.err = stable.Analyze(p, stable.Options{
-					Interrupt: ctx.Done(),
-					Workers:   e.stableWorkerCount(),
-				})
+				m.val, m.err = e.computeStableWarm(ctx, p, hash, fam)
 				if m.err == nil {
 					payload, err := encodeStableArtifact(m.val)
 					e.saveArtifact(ArtifactStable, hash, payload, err)
@@ -529,7 +540,7 @@ func (e *Engine) stableFor(ctx context.Context, p *protocol.Protocol, hash strin
 
 // basisFor memoizes the realisable basis of a protocol, with the same
 // semantics as stableFor.
-func (e *Engine) basisFor(ctx context.Context, p *protocol.Protocol, hash string) ([]realise.TransitionMultiset, bool, error) {
+func (e *Engine) basisFor(ctx context.Context, p *protocol.Protocol, hash string, fam *famCtx) ([]realise.TransitionMultiset, bool, error) {
 	counted := false
 	count := func(hit bool) {
 		if !counted {
@@ -554,7 +565,7 @@ func (e *Engine) basisFor(ctx context.Context, p *protocol.Protocol, hash string
 				m.val = basis
 			} else {
 				e.countCompute()
-				m.val, m.err = realise.Basis(p, dioph.Options{Interrupt: ctx.Done()})
+				m.val, m.err = e.computeBasisWarm(ctx, p, hash, fam)
 				if m.err == nil {
 					payload, err := encodeBasisArtifact(m.val)
 					e.saveArtifact(ArtifactBasis, hash, payload, err)
@@ -591,7 +602,7 @@ func (e *Engine) doSimulate(ctx context.Context, req Request, entry protocols.En
 	c0 := p.InitialConfig(in)
 	opts := sim.Options{Seed: req.Seed, MaxSteps: req.MaxSteps, TraceEvery: req.TraceEvery, Interrupt: ctx.Done()}
 	if req.ExactOracle {
-		a, hit, err := e.stableFor(ctx, p, hash)
+		a, hit, err := e.stableFor(ctx, p, hash, famCtxOf(req, res))
 		if err != nil {
 			return fmt.Errorf("stable-set analysis: %w", err)
 		}
@@ -699,8 +710,8 @@ func (e *Engine) doVerify(ctx context.Context, req Request, entry protocols.Entr
 	return nil
 }
 
-func (e *Engine) doStable(ctx context.Context, entry protocols.Entry, hash string, res *Result) error {
-	a, hit, err := e.stableFor(ctx, entry.Protocol, hash)
+func (e *Engine) doStable(ctx context.Context, req Request, entry protocols.Entry, hash string, res *Result) error {
+	a, hit, err := e.stableFor(ctx, entry.Protocol, hash, famCtxOf(req, res))
 	if err != nil {
 		return err
 	}
@@ -723,7 +734,7 @@ func (e *Engine) doCertify(ctx context.Context, req Request, entry protocols.Ent
 	// The finders need the stable-set analysis (and, leaderless, the
 	// realisable basis) — the exact artifacts the engine memoizes. Inject
 	// them so repeated certify requests skip the dominant recomputation.
-	analysis, hit, err := e.stableFor(ctx, p, hash)
+	analysis, hit, err := e.stableFor(ctx, p, hash, famCtxOf(req, res))
 	if err != nil {
 		return fmt.Errorf("stable-set analysis: %w", err)
 	}
@@ -746,7 +757,7 @@ func (e *Engine) doCertify(ctx context.Context, req Request, entry protocols.Ent
 		}
 		res.Certificate = &CertificateResult{Pipeline: "chain", A: cert.A, B: cert.B, Chain: cert}
 	default:
-		basis, basisHit, err := e.basisFor(ctx, p, hash)
+		basis, basisHit, err := e.basisFor(ctx, p, hash, famCtxOf(req, res))
 		if err != nil {
 			return fmt.Errorf("realisable basis: %w", err)
 		}
@@ -783,8 +794,8 @@ func (e *Engine) doSaturate(ctx context.Context, entry protocols.Entry, res *Res
 	return nil
 }
 
-func (e *Engine) doBasis(ctx context.Context, entry protocols.Entry, hash string, res *Result) error {
-	basis, hit, err := e.basisFor(ctx, entry.Protocol, hash)
+func (e *Engine) doBasis(ctx context.Context, req Request, entry protocols.Entry, hash string, res *Result) error {
+	basis, hit, err := e.basisFor(ctx, entry.Protocol, hash, famCtxOf(req, res))
 	if err != nil {
 		return err
 	}

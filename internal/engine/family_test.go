@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics/testutil"
+	"repro/internal/store"
+)
+
+// famReq builds a stable request for a family member.
+func famReq(kind Kind, family string, param int64) Request {
+	return Request{
+		Kind:        kind,
+		Protocol:    ProtocolRef{Spec: memberSpec(family, param)},
+		Family:      family,
+		FamilyParam: param,
+	}
+}
+
+// TestFamilyValidation pins the request-level contract: a family template
+// without the parameter token is a bad request.
+func TestFamilyValidation(t *testing.T) {
+	eng := New()
+	_, err := eng.Do(context.Background(), Request{
+		Kind:     KindStable,
+		Protocol: ProtocolRef{Spec: "flock:4"},
+		Family:   "flock:4", // no {N}
+	})
+	if err == nil {
+		t.Fatal("family template without {N} accepted")
+	}
+}
+
+// TestFamilyWarmStableDifferential is the engine leg of the differential
+// suite: an ascending family ramp run with incremental analysis enabled
+// yields exactly the results of the same ramp with it disabled, while the
+// warm engine actually takes the delta path (provenance present from the
+// second member on).
+func TestFamilyWarmStableDifferential(t *testing.T) {
+	const family = "flock:{N}"
+	warm, cold := New(), New()
+	cold.SetIncremental(false)
+	for param := int64(3); param <= 8; param++ {
+		w := do(t, warm, famReq(KindStable, family, param))
+		c := do(t, cold, famReq(KindStable, family, param))
+		if !reflect.DeepEqual(w.Stable.SCBasis, c.Stable.SCBasis) ||
+			w.Stable.Basis0 != c.Stable.Basis0 || w.Stable.Basis1 != c.Stable.Basis1 ||
+			w.Stable.Norm != c.Stable.Norm {
+			t.Fatalf("flock:%d: warm result differs from cold:\n%+v\nvs\n%+v", param, w.Stable, c.Stable)
+		}
+		if c.Incremental != nil {
+			t.Fatalf("flock:%d: incremental-disabled engine reported warm provenance %+v", param, c.Incremental)
+		}
+		if param == 3 {
+			if w.Incremental != nil {
+				t.Fatalf("flock:3: first member has no neighbor yet, got provenance %+v", w.Incremental)
+			}
+			continue
+		}
+		if w.Incremental == nil {
+			t.Fatalf("flock:%d: warm engine took no delta path", param)
+		}
+		if w.Incremental.Mode != "warm-stable" {
+			t.Fatalf("flock:%d: mode %q, want warm-stable", param, w.Incremental.Mode)
+		}
+		if w.Incremental.SeedParam != param-1 {
+			t.Fatalf("flock:%d: seeded from param %d, want nearest neighbor %d",
+				param, w.Incremental.SeedParam, param-1)
+		}
+		if w.Incremental.Family != family || w.Incremental.Param != param {
+			t.Fatalf("flock:%d: provenance identity %q/%d", param, w.Incremental.Family, w.Incremental.Param)
+		}
+		if w.Incremental.Imported == 0 || w.Incremental.Certified == 0 {
+			t.Fatalf("flock:%d: delta path idle: %+v", param, w.Incremental)
+		}
+	}
+}
+
+// TestFamilyWarmBasisDifferential mirrors the stable differential for the
+// realisable-basis artifact: identical bases warm and cold, warm-basis
+// provenance from the second member on.
+func TestFamilyWarmBasisDifferential(t *testing.T) {
+	const family = "flock:{N}"
+	warm, cold := New(), New()
+	cold.SetIncremental(false)
+	for param := int64(3); param <= 6; param++ {
+		w := do(t, warm, famReq(KindBasis, family, param))
+		c := do(t, cold, famReq(KindBasis, family, param))
+		if !reflect.DeepEqual(w.Basis, c.Basis) {
+			t.Fatalf("flock:%d: warm basis differs from cold", param)
+		}
+		if param > 3 {
+			if w.Incremental == nil || w.Incremental.Mode != "warm-basis" {
+				t.Fatalf("flock:%d: want warm-basis provenance, got %+v", param, w.Incremental)
+			}
+		}
+	}
+}
+
+// TestFamilyWarmAcrossRestart pins the durable family index: an engine
+// restarted over a warm artifact store (fresh memory, fresh family map)
+// warm-starts a NEW family member from a neighbor it never analyzed
+// itself, resolved through the persisted index.
+func TestFamilyWarmAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Engine {
+		eng := New()
+		s, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetArtifactStore(s)
+		return eng
+	}
+
+	first := open()
+	do(t, first, famReq(KindStable, "flock:{N}", 5))
+
+	second := open()
+	res := do(t, second, famReq(KindStable, "flock:{N}", 6))
+	if res.Incremental == nil {
+		t.Fatal("restarted engine did not warm from the persisted family index")
+	}
+	if res.Incremental.SeedParam != 5 {
+		t.Fatalf("seeded from param %d, want 5", res.Incremental.SeedParam)
+	}
+
+	// The restored result must match a from-scratch engine on every
+	// schedule-independent field (iteration/frontier counters reflect the
+	// warm schedule by design and are canonicalized away by sweeps).
+	coldEng := New()
+	coldEng.SetIncremental(false)
+	coldRes := do(t, coldEng, Request{Kind: KindStable, Protocol: ProtocolRef{Spec: "flock:6"}})
+	w, c := res.Stable, coldRes.Stable
+	if w.Basis0 != c.Basis0 || w.Basis1 != c.Basis1 || w.SCBasis != c.SCBasis || w.Norm != c.Norm {
+		t.Fatalf("warm-restarted result differs from cold:\n%+v\nvs\n%+v", w, c)
+	}
+}
+
+// TestFamilyMembersIndex pins registration: every family-declaring request
+// lands in the index under its parameter, hashes matching the resolved
+// protocols.
+func TestFamilyMembersIndex(t *testing.T) {
+	eng := New()
+	do(t, eng, famReq(KindStable, "flock:{N}", 3))
+	do(t, eng, famReq(KindStable, "flock:{N}", 4))
+	members := eng.FamilyMembers("flock:{N}")
+	if len(members) != 2 {
+		t.Fatalf("index has %d members, want 2", len(members))
+	}
+	for _, param := range []int64{3, 4} {
+		entry, err := eng.Registry().Resolve(memberSpec("flock:{N}", param))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Hash(entry.Protocol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if members[param] != h {
+			t.Fatalf("member %d registered hash %q, want %q", param, members[param], h)
+		}
+	}
+}
+
+// TestIncrementalMetrics pins the pp_engine_incremental_* instrumentation:
+// warm attempts and seed outcomes count on the delta path, the disabled
+// mode counts when the switch is off.
+func TestIncrementalMetrics(t *testing.T) {
+	eng := New()
+	do(t, eng, famReq(KindStable, "flock:{N}", 4))
+	do(t, eng, famReq(KindStable, "flock:{N}", 5))
+	if got := testutil.ToFloat64(eng.Metrics().IncrementalAttempts.WithLabelValues("warm_stable")); got != 1 {
+		t.Fatalf("warm_stable attempts = %v, want 1", got)
+	}
+	if got := testutil.ToFloat64(eng.Metrics().IncrementalAttempts.WithLabelValues("cold_stable")); got != 1 {
+		t.Fatalf("cold_stable attempts = %v, want 1", got)
+	}
+	if got := testutil.ToFloat64(eng.Metrics().IncrementalSeeds.WithLabelValues("imported")); got == 0 {
+		t.Fatal("no imported seed elements counted on the warm path")
+	}
+	eng.SetIncremental(false)
+	do(t, eng, famReq(KindStable, "flock:{N}", 6))
+	if got := testutil.ToFloat64(eng.Metrics().IncrementalAttempts.WithLabelValues("disabled")); got != 1 {
+		t.Fatalf("disabled attempts = %v, want 1", got)
+	}
+}

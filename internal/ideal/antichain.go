@@ -41,8 +41,32 @@ func signatureOf(v []int64) (support uint64, norm int64) {
 	return support, norm
 }
 
-// leWords reports a ≤ b componentwise for equal-length raw slices.
+// leWords reports a ≤ b componentwise for equal-length raw slices. The
+// scan is unrolled 4-wide: domination checks are the inner loop of every
+// Insert and Contains, and the bounds-check-free quad with a single OR'd
+// early exit keeps the comparator ahead of the word-at-a-time loop
+// (leWordsRef, pinned by BenchmarkLeWords) on the basis dimensions the
+// fixpoints actually run at.
 func leWords(a, b []int64) bool {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aq := a[i : i+4 : i+4]
+		bq := b[i : i+4 : i+4]
+		if aq[0] > bq[0] || aq[1] > bq[1] || aq[2] > bq[2] || aq[3] > bq[3] {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// leWordsRef is the retained word-at-a-time comparator — the before side of
+// BenchmarkLeWords and the oracle of the unrolled scan's equivalence tests.
+func leWordsRef(a, b []int64) bool {
 	for i, x := range a {
 		if x > b[i] {
 			return false
@@ -118,7 +142,31 @@ func (ix *acIndex) grow() {
 	}
 }
 
+// eqWords reports a == b componentwise, unrolled 4-wide like leWords (it
+// sits on the duplicate-index probe path of every Insert).
 func eqWords(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aq := a[i : i+4 : i+4]
+		bq := b[i : i+4 : i+4]
+		if aq[0] != bq[0] || aq[1] != bq[1] || aq[2] != bq[2] || aq[3] != bq[3] {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// eqWordsRef is the retained word-at-a-time equality scan, kept as the
+// oracle and before side of the unrolled comparator's tests and benchmark.
+func eqWordsRef(a, b []int64) bool {
 	if len(a) != len(b) {
 		return false
 	}

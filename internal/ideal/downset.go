@@ -176,6 +176,32 @@ func NewDownSet(d int, ideals ...Ideal) *DownSet {
 	return ds
 }
 
+// RestoreDownSet rebuilds a DownSet verbatim from a previously computed
+// irredundant decomposition — one obtained from Ideals() — skipping the
+// subsumption scans Add pays. The irredundant decomposition of a
+// downward-closed set is canonical (box ideals are irreducible, so the
+// decomposition is exactly the set of maximal ideals), but the slice order
+// is construction history; restoring verbatim preserves it, so every
+// accessor iterates identically to the original. The caller vouches the
+// input came from a DownSet of dimension d: feeding a redundant or
+// foreign-dimension slice corrupts the set, which is why the dimension at
+// least is checked.
+func RestoreDownSet(d int, ideals []Ideal) (*DownSet, error) {
+	ds := &DownSet{
+		d:      d,
+		ideals: make([]Ideal, len(ideals)),
+		omegas: make([]uint64, len(ideals)),
+	}
+	for k, id := range ideals {
+		if id.Dim() != d {
+			return nil, fmt.Errorf("ideal: restore: ideal %d has dimension %d, want %d", k, id.Dim(), d)
+		}
+		ds.ideals[k] = NewIdeal(id.caps)
+		ds.omegas[k] = omegaMask(ds.ideals[k])
+	}
+	return ds, nil
+}
+
 // Dim returns the dimension.
 func (ds *DownSet) Dim() int { return ds.d }
 

@@ -54,6 +54,38 @@ func NewUpSet(d int, gens ...multiset.Vec) *UpSet {
 	return u
 }
 
+// RestoreUpSet rebuilds an UpSet verbatim from a stored minimal antichain
+// — one previously obtained from MinBasis() — skipping the domination
+// scans Insert pays: elements of an antichain are pairwise incomparable by
+// construction, so the scans cannot reject or evict anything. Arena order
+// is the input order, so a basis stored in canonical order restores to an
+// UpSet indistinguishable from CanonicalUpSet's output. The caller vouches
+// the input is an antichain; only dimensions are checked (a dominated or
+// duplicate element would silently corrupt the set).
+func RestoreUpSet(d int, basis []multiset.Vec) (*UpSet, error) {
+	u := &UpSet{
+		d:      d,
+		arena:  make([]int64, 0, len(basis)*d),
+		stored: len(basis),
+		ids:    make([]int32, len(basis)),
+		sigs:   make([]sig, len(basis)),
+		live:   make([]bool, len(basis)),
+	}
+	for k, m := range basis {
+		if m.Dim() != d {
+			return nil, fmt.Errorf("ideal: restore element %d has dimension %d, want %d", k, m.Dim(), d)
+		}
+		u.arena = append(u.arena, m...)
+		u.ids[k] = int32(k)
+		u.live[k] = true
+		h := hashWords(m)
+		mask, norm := signatureOf(m)
+		u.sigs[k] = sig{support: mask, norm: norm, hash: h}
+		u.index.add(int32(k), h)
+	}
+	return u, nil
+}
+
 // Dim returns the dimension d.
 func (u *UpSet) Dim() int { return u.d }
 
@@ -76,6 +108,11 @@ func (u *UpSet) At(id int) multiset.Vec { return multiset.Vec(u.storedAt(int32(i
 // Alive reports whether stored element id is still a minimal element of
 // the set.
 func (u *UpSet) Alive(id int) bool { return u.live[id] }
+
+// Stored returns the number of elements ever stored in the arena, alive or
+// not: valid ids are exactly [0, Stored()). Iterating Stored() ids and
+// filtering by Alive enumerates the current antichain in arena order.
+func (u *UpSet) Stored() int { return u.stored }
 
 // Contains reports whether v belongs to the set.
 func (u *UpSet) Contains(v multiset.Vec) bool {

@@ -1,0 +1,142 @@
+package ideal
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/multiset"
+)
+
+func TestRebaseBasisKnown(t *testing.T) {
+	basis := []multiset.Vec{
+		{2, 0, 1},
+		{0, 3, 0},
+		{1, 1, 1},
+	}
+	// Coordinate 2 is dropped; 0 and 1 swap.
+	got := RebaseBasis(basis, []int{1, 0, -1}, 2)
+	// {2,0,1} and {1,1,1} touch the dropped coordinate → gone. {0,3,0}
+	// becomes {3,0}.
+	want := []multiset.Vec{{3, 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RebaseBasis = %v, want %v", got, want)
+	}
+}
+
+func TestRebaseBasisMergeReminimizes(t *testing.T) {
+	basis := []multiset.Vec{
+		{1, 2}, // incomparable with {2, 1} ...
+		{2, 1},
+	}
+	// ... until both coordinates merge into one: 3 and 3, equal → one
+	// survivor.
+	got := RebaseBasis(basis, []int{0, 0}, 1)
+	want := []multiset.Vec{{3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RebaseBasis merge = %v, want %v", got, want)
+	}
+}
+
+// rebaseOracle is the naive transport: per element, move counts through the
+// mapping (drop on unmapped positive coordinate), then minimize by pairwise
+// domination scan. No arena, no dedup index, no signatures.
+func rebaseOracle(basis []multiset.Vec, mapping []int, newDim int) []multiset.Vec {
+	var moved []multiset.Vec
+	for _, m := range basis {
+		out := make(multiset.Vec, newDim)
+		ok := true
+		for i, v := range m {
+			if v == 0 {
+				continue
+			}
+			if j := mapping[i]; j >= 0 && j < newDim {
+				out[j] += v
+			} else {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			moved = append(moved, out)
+		}
+	}
+	var minimal []multiset.Vec
+	for i, m := range moved {
+		dominated := false
+		for j, o := range moved {
+			if i == j {
+				continue
+			}
+			if o.Le(m) && !m.Le(o) {
+				dominated = true
+				break
+			}
+			// Equal elements: keep only the first occurrence.
+			if o.Le(m) && m.Le(o) && j < i {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			minimal = append(minimal, m)
+		}
+	}
+	return minimal
+}
+
+// FuzzRebaseBasis drives RebaseBasis against the naive oracle on
+// byte-derived bases and mappings: the minimal transported sets must be
+// identical (as canonically sorted sequences), and re-rebasing through the
+// identity mapping must be a fixpoint.
+func FuzzRebaseBasis(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, []byte{0, 1}, uint8(2), uint8(2))
+	f.Add([]byte{0, 0, 7, 7}, []byte{1, 0}, uint8(2), uint8(2))
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, []byte{0, 0, 1, 255}, uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, mapRaw []byte, dimRaw, newDimRaw uint8) {
+		dim := int(dimRaw%5) + 1
+		newDim := int(newDimRaw % 5) // 0 is legal: everything positive drops
+		mapping := make([]int, dim)
+		for i := range mapping {
+			if i < len(mapRaw) {
+				// Map into the new space, or -1 for "no counterpart".
+				m := int(mapRaw[i] % uint8(newDim+2))
+				if m > newDim {
+					m = -1
+				}
+				mapping[i] = m
+			} else {
+				mapping[i] = -1
+			}
+		}
+		var basis []multiset.Vec
+		for off := 0; off+dim <= len(data); off += dim {
+			v := make(multiset.Vec, dim)
+			for i := 0; i < dim; i++ {
+				v[i] = int64(data[off+i] % 6)
+			}
+			basis = append(basis, v)
+		}
+
+		got := SortBasis(RebaseBasis(basis, mapping, newDim))
+		want := SortBasis(rebaseOracle(basis, mapping, newDim))
+		if len(got) != len(want) {
+			t.Fatalf("rebase size %d, oracle %d (mapping %v → dim %d)\n got %v\nwant %v",
+				len(got), len(want), mapping, newDim, got, want)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("rebase[%d] = %v, oracle %v", i, got[i], want[i])
+			}
+		}
+
+		// Identity transport of an already-minimal basis is a fixpoint.
+		ident := make([]int, newDim)
+		for i := range ident {
+			ident[i] = i
+		}
+		again := SortBasis(RebaseBasis(got, ident, newDim))
+		if !reflect.DeepEqual(again, got) {
+			t.Fatalf("identity rebase moved: %v → %v", got, again)
+		}
+	})
+}

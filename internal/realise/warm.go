@@ -1,0 +1,191 @@
+package realise
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dioph"
+	"repro/internal/multiset"
+	"repro/internal/protocol"
+)
+
+// This file is the realisability leg of the incremental family-parametric
+// analysis: BasisWarm computes the same generating basis Basis does, but
+// carries the neighbor's basis elements into the Contejean–Devie search as
+// seed solutions. Unlike the stable antichain — whose elements sit on the
+// family's shifting threshold boundary and mostly die with the parameter —
+// realisability bases live in transition space, where adjacent family
+// members share most of their transitions, so most neighbor elements remap
+// to genuine solutions of the new system and the seeded search prunes
+// against them from its very first frontier.
+
+// WarmStats reports what a warm basis solve did with the neighbor's basis.
+type WarmStats struct {
+	// Mapped counts neighbor elements whose every transition has a
+	// counterpart in the new protocol (matched by state-name quadruple).
+	Mapped int
+	// Unmapped counts neighbor elements touching a transition the new
+	// protocol does not have.
+	Unmapped int
+	// Seeds is the seed-level accounting of the underlying solver,
+	// including how many mapped elements survived validation against the
+	// new system and how many search nodes the seeded solve examined.
+	Seeds dioph.SeedStats
+}
+
+// transitionKey identifies a transition by the state names it touches, the
+// representation that stays meaningful across family members with
+// different state counts. Pre and post pairs are order-normalized by name.
+type transitionKey struct {
+	p, q, p2, q2 string
+}
+
+func keyOf(pr *protocol.Protocol, t protocol.Transition) transitionKey {
+	a, b := pr.StateName(t.P), pr.StateName(t.Q)
+	if a > b {
+		a, b = b, a
+	}
+	c, d := pr.StateName(t.P2), pr.StateName(t.Q2)
+	if c > d {
+		c, d = d, c
+	}
+	return transitionKey{a, b, c, d}
+}
+
+// TransitionMapping matches the transitions of an old protocol to a new one
+// by state-name quadruple: mapping[t] is the new transition index of old
+// transition t, or -1 when no new transition connects the same named
+// states. ok is false when either side has duplicate quadruples (the match
+// would be ambiguous).
+func TransitionMapping(old, new_ *protocol.Protocol) (mapping []int, ok bool) {
+	newIdx := make(map[transitionKey]int, new_.NumTransitions())
+	for t := 0; t < new_.NumTransitions(); t++ {
+		k := keyOf(new_, new_.Transition(t))
+		if _, dup := newIdx[k]; dup {
+			return nil, false
+		}
+		newIdx[k] = t
+	}
+	seen := make(map[transitionKey]bool, old.NumTransitions())
+	mapping = make([]int, old.NumTransitions())
+	for t := 0; t < old.NumTransitions(); t++ {
+		k := keyOf(old, old.Transition(t))
+		if seen[k] {
+			return nil, false
+		}
+		seen[k] = true
+		if j, found := newIdx[k]; found {
+			mapping[t] = j
+		} else {
+			mapping[t] = -1
+		}
+	}
+	return mapping, true
+}
+
+// Basis computes a generating basis of the potentially realisable multisets:
+// every potentially realisable π (restricted to non-identity transitions) is
+// a sum of a multiset of returned elements. The basis is returned in
+// canonical order (sorted by transition-index profile), so two solves of
+// the same system — cold, warm, any seed — yield identical slices.
+func Basis(p *protocol.Protocol, opts dioph.Options) ([]TransitionMultiset, error) {
+	out, _, err := BasisWarm(p, opts, WarmSeed{})
+	return out, err
+}
+
+// WarmSeed names the neighbor a BasisWarm call extends.
+type WarmSeed struct {
+	// Prev is the family neighbor whose basis seeds the search; nil means a
+	// cold solve.
+	Prev *protocol.Protocol
+	// PrevBasis is the neighbor's generating basis, as returned by Basis.
+	PrevBasis []TransitionMultiset
+}
+
+// BasisWarm computes exactly Basis(p, opts) — identical elements in the
+// identical canonical order — seeding the Diophantine search with the
+// neighbor's basis elements transported through the transition mapping.
+// Elements touching transitions the new protocol lacks, and elements that
+// remap to non-solutions of the new system, are discarded before the
+// search; they cost one validation each and nothing more.
+func BasisWarm(p *protocol.Protocol, opts dioph.Options, seed WarmSeed) ([]TransitionMultiset, *WarmStats, error) {
+	a, cols, err := System(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	// colOf inverts cols: protocol transition index -> system column.
+	colOf := make(map[int]int, len(cols))
+	for j, t := range cols {
+		colOf[t] = j
+	}
+	stats := &WarmStats{}
+	var seeds []multiset.Vec
+	if seed.Prev != nil && len(seed.PrevBasis) > 0 {
+		mapping, ok := TransitionMapping(seed.Prev, p)
+		if ok {
+			for _, pi := range seed.PrevBasis {
+				y, ok := remapSeed(pi, mapping, colOf, len(cols))
+				if !ok {
+					stats.Unmapped++
+					continue
+				}
+				stats.Mapped++
+				seeds = append(seeds, y)
+			}
+		} else {
+			stats.Unmapped = len(seed.PrevBasis)
+		}
+	}
+	gens, seedStats, err := dioph.GeneratorsIneqSeeded(a, len(cols), opts, seeds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("realise: solving Definition 4 system: %w", err)
+	}
+	stats.Seeds = *seedStats
+	sortGenerators(gens)
+	out := make([]TransitionMultiset, 0, len(gens))
+	for _, g := range gens {
+		pi := make(TransitionMultiset)
+		for j, n := range g {
+			if n != 0 {
+				pi[cols[j]] = n
+			}
+		}
+		out = append(out, pi)
+	}
+	return out, stats, nil
+}
+
+// remapSeed transports a neighbor basis element into the new system's
+// column space. It fails when a used transition is unmapped or maps to an
+// identity transition of the new protocol (no column).
+func remapSeed(pi TransitionMultiset, mapping []int, colOf map[int]int, v int) (multiset.Vec, bool) {
+	y := make(multiset.Vec, v)
+	for t, n := range pi {
+		if n == 0 {
+			continue
+		}
+		if t < 0 || t >= len(mapping) || mapping[t] < 0 {
+			return nil, false
+		}
+		j, ok := colOf[mapping[t]]
+		if !ok {
+			return nil, false
+		}
+		y[j] += n
+	}
+	return y, true
+}
+
+// sortGenerators orders generator vectors lexicographically by coordinate —
+// the canonical basis order every solve normalizes to.
+func sortGenerators(gens []multiset.Vec) {
+	sort.Slice(gens, func(i, j int) bool {
+		a, b := gens[i], gens[j]
+		for k, x := range a {
+			if x != b[k] {
+				return x < b[k]
+			}
+		}
+		return false
+	})
+}

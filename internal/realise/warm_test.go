@@ -1,0 +1,153 @@
+package realise
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dioph"
+	"repro/internal/protocol"
+	"repro/internal/protocols"
+)
+
+func member(t *testing.T, ctor func(int64) protocols.Entry, eta int64) *protocol.Protocol {
+	t.Helper()
+	return ctor(eta).Protocol
+}
+
+// rampDifferential walks a family ramp asserting BasisWarm at each step is
+// element-for-element identical to the cold Basis — the canonical order
+// makes reflect.DeepEqual the whole equality story — and that on these
+// structurally-overlapping families the warm solve actually imported
+// something.
+func rampDifferential(t *testing.T, name string, ctor func(int64) protocols.Entry, from, to int64) {
+	t.Helper()
+	opts := dioph.Options{}
+	prev := member(t, ctor, from)
+	prevBasis, err := Basis(prev, opts)
+	if err != nil {
+		t.Fatalf("%s:%d cold: %v", name, from, err)
+	}
+	for eta := from + 1; eta <= to; eta++ {
+		p := member(t, ctor, eta)
+		cold, err := Basis(p, opts)
+		if err != nil {
+			t.Fatalf("%s:%d cold: %v", name, eta, err)
+		}
+		warm, stats, err := BasisWarm(p, opts, WarmSeed{Prev: prev, PrevBasis: prevBasis})
+		if err != nil {
+			t.Fatalf("%s:%d warm: %v", name, eta, err)
+		}
+		if !reflect.DeepEqual(warm, cold) {
+			t.Fatalf("%s:%d warm basis differs from cold\nwarm: %v\ncold: %v", name, eta, warm, cold)
+		}
+		if stats.Mapped == 0 {
+			t.Errorf("%s:%d warm solve mapped no neighbor elements", name, eta)
+		}
+		if stats.Seeds.Accepted == 0 {
+			t.Errorf("%s:%d no neighbor element survived validation", name, eta)
+		}
+		prev, prevBasis = p, cold
+	}
+}
+
+func TestBasisWarmFlockRamp(t *testing.T) {
+	rampDifferential(t, "flock", protocols.FlockOfBirds, 3, 7)
+}
+
+func TestBasisWarmBinaryRamp(t *testing.T) {
+	rampDifferential(t, "binary", protocols.BinaryThreshold, 3, 8)
+}
+
+// TestBasisWarmUnrelatedSeed: a seed from a structurally different protocol
+// must not corrupt the result — unmappable elements are dropped, the basis
+// still equals cold.
+func TestBasisWarmUnrelatedSeed(t *testing.T) {
+	opts := dioph.Options{}
+	donor := member(t, protocols.BinaryThreshold, 5)
+	donorBasis, err := Basis(donor, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := member(t, protocols.FlockOfBirds, 5)
+	cold, err := Basis(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, err := BasisWarm(p, opts, WarmSeed{Prev: donor, PrevBasis: donorBasis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("unrelated seed changed the basis\nwarm: %v\ncold: %v", warm, cold)
+	}
+	if stats.Mapped+stats.Unmapped != len(donorBasis) {
+		t.Errorf("mapped %d + unmapped %d ≠ donor basis %d", stats.Mapped, stats.Unmapped, len(donorBasis))
+	}
+}
+
+// TestBasisWarmNilSeed: WarmSeed{} is a cold solve with zero stats.
+func TestBasisWarmNilSeed(t *testing.T) {
+	p := member(t, protocols.FlockOfBirds, 4)
+	cold, err := Basis(p, dioph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, stats, err := BasisWarm(p, dioph.Options{}, WarmSeed{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("nil seed differs from cold")
+	}
+	if stats.Mapped != 0 || stats.Unmapped != 0 {
+		t.Errorf("nil seed reported mapping stats: %+v", stats)
+	}
+}
+
+// TestTransitionMappingFlockNeighbors: adjacent flock members share all
+// transitions on their common states, matched by name quadruple; the
+// mapping is injective on its mapped range.
+func TestTransitionMappingFlockNeighbors(t *testing.T) {
+	old := member(t, protocols.FlockOfBirds, 5)
+	new_ := member(t, protocols.FlockOfBirds, 6)
+	mapping, ok := TransitionMapping(old, new_)
+	if !ok {
+		t.Fatal("flock neighbors should map unambiguously")
+	}
+	if len(mapping) != old.NumTransitions() {
+		t.Fatalf("mapping length %d, want %d", len(mapping), old.NumTransitions())
+	}
+	mapped := 0
+	seen := make(map[int]bool)
+	for _, j := range mapping {
+		if j < 0 {
+			continue
+		}
+		mapped++
+		if j >= new_.NumTransitions() {
+			t.Fatalf("mapping target %d out of range", j)
+		}
+		if seen[j] {
+			t.Fatalf("mapping target %d hit twice", j)
+		}
+		seen[j] = true
+	}
+	if mapped == 0 {
+		t.Fatal("no transition mapped between adjacent flock members")
+	}
+}
+
+// TestTransitionMappingSelfIsIdentity: a protocol maps onto itself
+// completely.
+func TestTransitionMappingSelfIsIdentity(t *testing.T) {
+	p := member(t, protocols.BinaryThreshold, 6)
+	mapping, ok := TransitionMapping(p, p)
+	if !ok {
+		t.Fatal("self-mapping ambiguous")
+	}
+	for i, j := range mapping {
+		if i != j {
+			t.Fatalf("self mapping[%d] = %d", i, j)
+		}
+	}
+}

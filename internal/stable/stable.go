@@ -100,14 +100,28 @@ func Analyze(p *protocol.Protocol, opts Options) (*Analysis, error) {
 		if err != nil {
 			return nil, fmt.Errorf("computing U_%d: %w", b, err)
 		}
-		a.unstable[b] = u
-		a.iterations[b] = iters
-		a.frontier[b] = expanded
-		a.sc[b] = ideal.ComplementUp(u)
+		a.setUnstable(b, u, iters, expanded)
 	}
+	a.finish()
+	return a, nil
+}
+
+// setUnstable installs a computed U_b fixpoint: the antichain is rebuilt in
+// canonical element order, so every execution path that arrives at the same
+// set — from-scratch, warm-started, restored from a durable artifact —
+// exposes an identical MinBasis and identical derived structures.
+func (a *Analysis) setUnstable(b int, u *ideal.UpSet, iters, expanded int) {
+	cu := ideal.CanonicalUpSet(u)
+	a.unstable[b] = cu
+	a.iterations[b] = iters
+	a.frontier[b] = expanded
+	a.sc[b] = ideal.ComplementUp(cu)
+}
+
+// finish computes the SC union and its basis from the installed halves.
+func (a *Analysis) finish() {
 	a.scAll = a.sc[0].Union(a.sc[1])
 	a.scAllBasis = basisOf(a.scAll)
-	return a, nil
 }
 
 // predRow is one non-identity transition of the pred-basis step: the
@@ -144,10 +158,9 @@ func stopped(stop <-chan struct{}) bool {
 	}
 }
 
-// backwardCover computes U_b by the frontier-driven pred-basis fixpoint.
-// It returns the fixpoint, the number of rounds, and the total number of
-// frontier elements expanded.
-func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-chan struct{}) (*ideal.UpSet, int, int, error) {
+// seedGenerators inserts the U_b generators {1·q : O(q) ≠ b} into a fresh
+// antichain and returns it with the generator frontier.
+func seedGenerators(p *protocol.Protocol, b int) (*ideal.UpSet, []int32) {
 	d := p.NumStates()
 	u := ideal.NewUpSet(d)
 	var frontier []int32
@@ -158,6 +171,13 @@ func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-ch
 			}
 		}
 	}
+	return u, frontier
+}
+
+// predRows builds the pred-basis step rows: one per non-identity
+// transition.
+func predRows(p *protocol.Protocol) []predRow {
+	d := p.NumStates()
 	rows := make([]predRow, 0, p.NumTransitions())
 	for t := 0; t < p.NumTransitions(); t++ {
 		delta := p.Displacement(t)
@@ -167,6 +187,27 @@ func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-ch
 		tr := p.Transition(t)
 		rows = append(rows, predRow{delta: delta, pre: multiset.Pair(d, int(tr.P), int(tr.Q))})
 	}
+	return rows
+}
+
+// backwardCover computes U_b by the frontier-driven pred-basis fixpoint.
+// It returns the fixpoint, the number of rounds, and the total number of
+// frontier elements expanded.
+func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-chan struct{}) (*ideal.UpSet, int, int, error) {
+	u, frontier := seedGenerators(p, b)
+	rows := predRows(p)
+	iters, expanded, err := runFixpoint(u, frontier, rows, maxBasis, workers, stop)
+	return u, iters, expanded, err
+}
+
+// runFixpoint drives the pred-basis fixpoint to completion from an initial
+// antichain and frontier. The invariant it needs from callers: every live
+// element NOT in the initial frontier already has all its predecessors in
+// the set (true vacuously for the generator seed, and re-established by the
+// warm path by enqueueing every seeded element). It returns the round and
+// expansion counts.
+func runFixpoint(u *ideal.UpSet, frontier []int32, rows []predRow, maxBasis, workers int, stop <-chan struct{}) (int, int, error) {
+	d := u.Dim()
 	var (
 		iters    int
 		expanded int
@@ -198,7 +239,7 @@ func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-ch
 		preds = preds[:need]
 		if workers > 1 && len(roundF) > 1 {
 			if err := fanOutParallel(u, roundF, rows, preds, d, workers, stop); err != nil {
-				return nil, iters, expanded, err
+				return iters, expanded, err
 			}
 		} else {
 			n := 0
@@ -207,7 +248,7 @@ func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-ch
 				base := fi * len(rows) * d
 				for ti := range rows {
 					if n%interruptBatch == 0 && stopped(stop) {
-						return nil, iters, expanded, ErrInterrupted
+						return iters, expanded, ErrInterrupted
 					}
 					n++
 					predInto(preds[base+ti*d:base+(ti+1)*d], m, &rows[ti])
@@ -222,22 +263,23 @@ func backwardCover(p *protocol.Protocol, b int, maxBasis, workers int, stop <-ch
 		frontier = frontier[:0]
 		for k := 0; k < len(roundF)*len(rows); k++ {
 			if k%interruptBatch == 0 && stopped(stop) {
-				return nil, iters, expanded, ErrInterrupted
+				return iters, expanded, ErrInterrupted
 			}
 			if id, grew := u.Insert(preds[k*d : (k+1)*d]); grew {
 				frontier = append(frontier, int32(id))
 			}
 		}
 		if u.Size() > maxBasis {
-			return nil, iters, expanded, fmt.Errorf("%w: %d elements", ErrBasisTooLarge, u.Size())
+			return iters, expanded, fmt.Errorf("%w: %d elements", ErrBasisTooLarge, u.Size())
 		}
 	}
 	if iters == 0 {
-		// No generators at all (every state already has output b): report
-		// the one vacuous round the seed fixpoint counted.
+		// No frontier at all (e.g. every state already has output b, so
+		// there are no generators): report the one vacuous round the seed
+		// fixpoint counted.
 		iters = 1
 	}
-	return u, iters, expanded, nil
+	return iters, expanded, nil
 }
 
 // fanOutParallel shards the frontier across workers, each deriving the

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// The incremental pair measures the scenario the delta path exists for:
+// EXTENDING a previously analyzed family ramp. The base grid (binary
+// thresholds incrBaseFrom..incrTo) has been analyzed and its artifacts
+// persisted; the extended grid widens the range by two members. The
+// incremental side reopens the store — base cells are durable hits, the
+// new members compute through the family warm path — while the
+// from-scratch side recomputes the whole extended grid cold.
+//
+// The ramp is widened at the CHEAP end: per-cell cost grows superlinearly
+// in the threshold, so new members at the top would dominate both runs
+// and the ratio would measure the irreducible delta compute, not the grid
+// reuse the feature provides. new-cells/op reports the delta size so the
+// committed ratio is read against it.
+const (
+	incrFrom     = 40
+	incrBaseFrom = 42
+	incrTo       = 70
+)
+
+func incrSpec(from int64) Spec {
+	return Spec{
+		Name:      "incr-bench",
+		Protocols: []ProtocolAxis{{Spec: "binary:{N}"}},
+		Params:    []ParamRange{{From: from, To: incrTo}},
+		Kinds:     []engine.Kind{engine.KindStable},
+		Predicate: &PredicateTemplate{Kind: "counting", Threshold: ParamExpr(0, 0)},
+		Options:   Options{Seed: 7},
+	}
+}
+
+func runIncrSweep(b *testing.B, eng *engine.Engine, from int64) {
+	b.Helper()
+	res, err := Run(context.Background(), eng, incrSpec(from), RunOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.TotalCells {
+		b.Fatalf("bad sweep: completed %d/%d, failed %d", res.Completed, res.TotalCells, res.Failed)
+	}
+}
+
+// BenchmarkSweepIncremental: extend an analyzed ramp over a warm artifact
+// store. Setup (outside the timer) analyzes the base grid once; each
+// iteration reopens the store in a fresh engine — fresh memory, durable
+// artifacts — and runs the extended grid.
+func BenchmarkSweepIncremental(b *testing.B) {
+	dir := b.TempDir()
+	open := func() *engine.Engine {
+		s, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engine.New()
+		eng.SetArtifactStore(s)
+		return eng
+	}
+	runIncrSweep(b, open(), incrBaseFrom)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runIncrSweep(b, open(), incrFrom)
+	}
+	b.ReportMetric(float64(incrTo-incrFrom+1), "cells/op")
+	b.ReportMetric(float64(incrBaseFrom-incrFrom), "new-cells/op")
+}
+
+// BenchmarkSweepFromScratch: the same extended grid, no store, delta path
+// disabled — every cell computed cold. The ns/op ratio against
+// BenchmarkSweepIncremental is the committed aggregate speedup of the
+// extend scenario.
+func BenchmarkSweepFromScratch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := engine.New()
+		eng.SetIncremental(false)
+		runIncrSweep(b, eng, incrFrom)
+	}
+	b.ReportMetric(float64(incrTo-incrFrom+1), "cells/op")
+}

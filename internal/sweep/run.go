@@ -147,15 +147,17 @@ func Run(ctx context.Context, eng *engine.Engine, spec Spec, opts RunOptions) (*
 	}
 
 	start := time.Now()
-	jobs := make(chan Cell)
+	jobs := make(chan []Cell)
 	results := make(chan CellResult)
 
-	// Feeder: stops handing out cells as soon as the context ends.
+	// Feeder: hands out family chains — cells of one protocol family as one
+	// sequential unit, everything else as singletons — and stops as soon as
+	// the context ends.
 	go func() {
 		defer close(jobs)
-		for _, c := range cells {
+		for _, chain := range familyChains(cells) {
 			select {
-			case jobs <- c:
+			case jobs <- chain:
 			case <-ctx.Done():
 				return
 			}
@@ -167,8 +169,13 @@ func Run(ctx context.Context, eng *engine.Engine, spec Spec, opts RunOptions) (*
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for c := range jobs {
-				results <- RunCell(ctx, eng, spec, c)
+			for chain := range jobs {
+				for _, c := range chain {
+					if ctx.Err() != nil {
+						return
+					}
+					results <- RunCell(ctx, eng, spec, c)
+				}
 			}
 		}()
 	}
@@ -190,6 +197,35 @@ func Run(ctx context.Context, eng *engine.Engine, spec Spec, opts RunOptions) (*
 		return res, err
 	}
 	return res, nil
+}
+
+// familyChains partitions expanded cells into execution chains: cells
+// declaring the same protocol family form one chain in grid order — which,
+// by expansion order, is ascending parameter order — and every other cell
+// is a singleton chain. A chain executes sequentially on one worker, so
+// each family member's artifacts are complete before the next parameter
+// starts and the engine's delta path always finds its nearest neighbor
+// warm. Chains are ordered by first appearance, keeping the schedule
+// deterministic; results still stream in completion order and aggregate
+// identically to per-cell scheduling.
+func familyChains(cells []Cell) [][]Cell {
+	var chains [][]Cell
+	byFamily := make(map[string]int)
+	for _, c := range cells {
+		fam := c.Request.Family
+		if fam == "" {
+			chains = append(chains, []Cell{c})
+			continue
+		}
+		ci, ok := byFamily[fam]
+		if !ok {
+			ci = len(chains)
+			byFamily[fam] = ci
+			chains = append(chains, nil)
+		}
+		chains[ci] = append(chains[ci], c)
+	}
+	return chains
 }
 
 // Collector folds completed cells into an aggregate Result incrementally,

@@ -16,6 +16,12 @@
 #           GOMAXPROCS=${PARALLEL_GOMAXPROCS:-4}, so the record has a row
 #           where the worker pools actually run concurrently
 #                                                   → BENCH_parallel.json
+#   sweep   BenchmarkSweepIncremental/BenchmarkSweepFromScratch in
+#           internal/sweep — extending an analyzed family ramp over a warm
+#           artifact store vs recomputing the grid cold; always runs at
+#           -benchtime 1x (only the first iteration is the extend
+#           scenario: it writes the delta through, so later iterations
+#           would measure a fully warm store)         → BENCH_sweep.json
 #
 # Usage:
 #   scripts/bench.sh                   # all suites, full run
@@ -145,11 +151,31 @@ run_parallel() {
     "$tmp" "$out"
 }
 
+run_sweep() {
+  # The incremental/from-scratch pair is pinned at one iteration each: the
+  # incremental benchmark's first iteration is the extend scenario (29
+  # durable hits + 2 delta computes) and writes the delta through, so any
+  # further iteration would measure a fully warm store instead. BENCHTIME
+  # is deliberately ignored here.
+  local out="${OUT_SWEEP:-BENCH_sweep.json}"
+  local benchtime=1x # shadows the global for the render call below
+  local tmp
+  tmp="$(mktemp)"
+  tmpfiles+=("$tmp")
+  go test ./internal/sweep -run '^$' \
+    -bench 'BenchmarkSweep(Incremental|FromScratch)' \
+    -benchtime 1x -count 1 -timeout 1h | tee "$tmp" >&2
+  render sweep \
+    "Extend scenario for the delta-aware sweep path: the binary-threshold ramp 42..70 is analyzed with a durable artifact store, then the grid is widened to 40..70 (new-cells/op = 2, placed at the cheap end of the superlinear ramp so the ratio measures grid reuse rather than the irreducible delta compute); Incremental restores the 29 analyzed cells and computes only the delta, FromScratch recomputes all 31 cells cold with the delta path disabled — the FromScratch/Incremental ns_per_op ratio is the committed aggregate speedup" \
+    "$tmp" "$out"
+}
+
 case "$suites" in
   reach)    run_reach ;;
   sim)      run_sim ;;
   stable)   run_stable ;;
   parallel) run_parallel ;;
-  all)      run_reach; run_sim; run_stable; run_parallel ;;
-  *) echo "usage: scripts/bench.sh [reach|sim|stable|parallel|all]" >&2; exit 2 ;;
+  sweep)    run_sweep ;;
+  all)      run_reach; run_sim; run_stable; run_parallel; run_sweep ;;
+  *) echo "usage: scripts/bench.sh [reach|sim|stable|parallel|sweep|all]" >&2; exit 2 ;;
 esac

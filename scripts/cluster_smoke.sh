@@ -25,19 +25,25 @@ trap cleanup EXIT
 go build -o "$workdir/ppserve" ./cmd/ppserve
 go build -o "$workdir/ppsweep" ./cmd/ppsweep
 
-# 4 protocols × (2 simulate sizes + 2 verify sizes + 1 stable) = 20 cells.
+# Three parametric families: the dispatcher routes each family WHOLE to
+# one rendezvous owner (members warm-start from their neighbors there), so
+# spreading the grid across both workers needs multiple templates — these
+# three land on both workers under worker IDs w1/w2 (the same property the
+# in-process integration specs rely on).
+# 3 families × 4 params × (2 simulate sizes + 2 verify sizes + 1 stable)
+# = 60 cells.
 spec="$workdir/spec.json"
 cat > "$spec" <<'EOF'
 {
   "name": "cluster-smoke",
-  "protocols": [{"spec": "flock:{N}"}],
+  "protocols": [{"spec": "flock:{N}"}, {"spec": "binary:{N}"}, {"spec": "mod:{N}:0"}],
   "params": [{"from": 3, "to": 6}],
   "kinds": ["simulate", "verify", "stable"],
   "sizes": [6, 7],
   "options": {"seed": 11, "exactOracle": true}
 }
 EOF
-want_cells=20
+want_cells=60
 
 # wait_listen <logfile>: print the host:port the daemon bound (the OS picks
 # the port — -addr 127.0.0.1:0 — so parallel CI jobs cannot collide).
